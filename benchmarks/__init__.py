@@ -1,0 +1,1 @@
+"""Paper-regeneration benchmark harness (pytest-benchmark)."""

@@ -1,0 +1,98 @@
+"""Ablation A2: merge-cost formulations.
+
+Compares four greedy objectives on identical sinks/workload:
+
+* ``eq3``         -- the paper's literal Eq. 3;
+* ``incremental`` -- the count-once re-attribution (library default);
+* ``distance``    -- activity-blind nearest-neighbour (topology from
+  geometry only, gates still placed/filtered by the same policy);
+* ``distance+no-oracle`` -- the buffered baseline for reference.
+
+The interesting readout is the split between clock-tree and
+controller-tree switched capacitance: activity-aware orders spend
+wirelength to keep enables cold (cheaper stars), geometric order
+minimizes wire but pays for hot, toggling enables.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.controller import ControllerLayout, route_enables
+from repro.core.cost import (
+    incremental_switched_capacitance_cost,
+    switched_capacitance_cost,
+)
+from repro.core.flow import _measure, route_buffered
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.cts.dme import BottomUpMerger, nearest_neighbor_cost
+
+
+@pytest.mark.benchmark(group="ablation-cost")
+def test_ablation_cost_terms(run_once, scale, tech, record):
+    case = load_benchmark("r1", scale=scale)
+    policy = GateReductionPolicy.from_knob(DEFAULT_KNOB, tech)
+    layout = ControllerLayout.centralized(case.die)
+    costs = {
+        "eq3": switched_capacitance_cost,
+        "incremental": incremental_switched_capacitance_cost,
+        "distance": nearest_neighbor_cost,
+    }
+
+    def sweep():
+        results = {}
+        for label, cost in costs.items():
+            merger = BottomUpMerger(
+                case.sinks,
+                tech,
+                cost=cost,
+                cell_policy=policy,
+                oracle=case.oracle,
+                controller_point=case.die.center,
+                candidate_limit=CANDIDATE_LIMIT,
+            )
+            tree = merger.run()
+            routing = route_enables(tree, layout, tech)
+            results[label] = _measure(label, tree, tech, routing)
+        results["buffered"] = route_buffered(
+            case.sinks, tech, candidate_limit=CANDIDATE_LIMIT
+        )
+        return results
+
+    results = run_once(sweep)
+    record(
+        "ablation_cost_terms",
+        format_table(
+            ["objective", "W total", "W clock", "W ctrl", "wirelength", "gates"],
+            [
+                [
+                    label,
+                    r.switched_cap.total,
+                    r.switched_cap.clock_tree,
+                    r.switched_cap.controller_tree,
+                    r.wirelength,
+                    r.gate_count,
+                ]
+                for label, r in results.items()
+            ],
+            title="Ablation: merge-cost formulations (r1, scale=%.2f)" % scale,
+        ),
+    )
+
+    # All gated objectives must beat the buffered baseline here.
+    for label in ("eq3", "incremental", "distance"):
+        assert (
+            results[label].switched_cap.total
+            < results["buffered"].switched_cap.total
+        ), label
+    # The incremental form should not lose to the literal Eq. 3.
+    assert (
+        results["incremental"].switched_cap.total
+        <= 1.05 * results["eq3"].switched_cap.total
+    )
+    # Activity-aware orders buy cheaper controllers than pure geometry.
+    assert (
+        results["incremental"].switched_cap.controller_tree
+        <= results["distance"].switched_cap.controller_tree + 1e-9
+    )

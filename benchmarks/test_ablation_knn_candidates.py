@@ -1,0 +1,66 @@
+"""Ablation A1: k-nearest candidate restriction of the greedy.
+
+The paper's greedy considers *every* active pair (O(N^2) evaluations
+per round).  Restricting each subtree's merge candidates to its k
+geometric nearest neighbours is the standard practical speedup; this
+bench measures what it costs in solution quality and buys in runtime.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+
+LIMITS = (4, 8, 16, None)  # None = exact greedy
+
+
+@pytest.mark.benchmark(group="ablation-knn")
+def test_ablation_knn_candidates(run_once, scale, tech, record):
+    case = load_benchmark("r1", scale=min(scale, 0.5))
+    reduction = GateReductionPolicy.from_knob(DEFAULT_KNOB, tech)
+
+    def sweep():
+        rows = []
+        for limit in LIMITS:
+            start = time.perf_counter()
+            result = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=limit,
+                reduction=reduction,
+            )
+            rows.append((limit, time.perf_counter() - start, result))
+        return rows
+
+    rows = run_once(sweep)
+    record(
+        "ablation_knn_candidates",
+        format_table(
+            ["candidates", "seconds", "W total", "wirelength", "gates"],
+            [
+                [
+                    "exact" if limit is None else limit,
+                    seconds,
+                    r.switched_cap.total,
+                    r.wirelength,
+                    r.gate_count,
+                ]
+                for limit, seconds, r in rows
+            ],
+            title="Ablation: greedy candidate restriction (r1)",
+        ),
+    )
+
+    exact = rows[-1][2]
+    for limit, _, result in rows[:-1]:
+        # Restricted greedies stay within 40% of the exact objective.
+        assert result.switched_cap.total <= 1.4 * exact.switched_cap.total
+        # And never blow up the wirelength beyond the exact greedy's.
+        assert result.wirelength <= 1.2 * exact.wirelength

@@ -1,0 +1,67 @@
+"""Ablation A4: spatial/activity correlation of the placement.
+
+Real designs place the modules of one functional unit together, so
+activity clusters are also placement clusters -- exactly the situation
+gated clock routing exploits.  This bench sweeps the placement spread
+from tight blobs to fully uniform (activity-blind) placement and
+reports how much of the gated router's advantage survives.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_buffered, route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+
+SPREADS = (0.04, 0.12, 0.3, None)  # None = uniform placement
+
+
+@pytest.mark.benchmark(group="ablation-placement")
+def test_ablation_placement_correlation(run_once, scale, tech, record):
+    def sweep():
+        rows = []
+        for spread in SPREADS:
+            case = load_benchmark("r1", scale=scale, placement_spread=spread)
+            buffered = route_buffered(
+                case.sinks, tech, candidate_limit=CANDIDATE_LIMIT
+            )
+            reduced = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                reduction=GateReductionPolicy.from_knob(DEFAULT_KNOB, tech),
+            )
+            rows.append(
+                (
+                    spread,
+                    buffered.switched_cap.total,
+                    reduced.switched_cap.total,
+                    reduced.switched_cap.total / buffered.switched_cap.total,
+                )
+            )
+        return rows
+
+    rows = run_once(sweep)
+    record(
+        "ablation_placement_correlation",
+        format_table(
+            ["spread", "W buffered", "W gate-red", "ratio"],
+            [
+                ["uniform" if s is None else s, wb, wr, ratio]
+                for s, wb, wr, ratio in rows
+            ],
+            title="Ablation: placement correlation (r1, scale=%.2f)" % scale,
+        ),
+    )
+
+    # Tight functional placement gives the gated router its largest
+    # advantage; the trend may be noisy in the middle but the tightest
+    # placement must beat the uniform one.
+    ratios = [ratio for *_, ratio in rows]
+    assert ratios[0] < ratios[-1]
+    # The gated router still works on tight placements.
+    assert ratios[0] < 0.9

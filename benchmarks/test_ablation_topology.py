@@ -1,0 +1,85 @@
+"""Ablation A5: topology generators under identical gating.
+
+How much of the gated router's win comes from *choosing* the topology
+by switched capacitance?  Three generators, identical sinks/workload
+and the same gate-reduction policy:
+
+* recursive bisection (balanced, activity- and wire-blind),
+* nearest-neighbour greedy (wire-aware, activity-blind),
+* the switched-capacitance greedy (the paper's router).
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.controller import ControllerLayout, route_enables
+from repro.core.cost import incremental_switched_capacitance_cost
+from repro.core.flow import _measure
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.cts.bisection import build_bisection_tree
+from repro.cts.dme import BottomUpMerger, nearest_neighbor_cost
+
+
+@pytest.mark.benchmark(group="ablation-topology")
+def test_ablation_topology(run_once, scale, tech, record):
+    case = load_benchmark("r1", scale=scale)
+    policy = GateReductionPolicy.from_knob(DEFAULT_KNOB, tech)
+    layout = ControllerLayout.centralized(case.die)
+
+    def sweep():
+        results = {}
+        bisect = build_bisection_tree(
+            case.sinks, tech, cell_policy=policy, oracle=case.oracle
+        )
+        results["bisection"] = _measure(
+            "bisection", bisect, tech, route_enables(bisect, layout, tech)
+        )
+        for label, cost in (
+            ("nn-greedy", nearest_neighbor_cost),
+            ("sc-greedy", incremental_switched_capacitance_cost),
+        ):
+            merger = BottomUpMerger(
+                case.sinks,
+                tech,
+                cost=cost,
+                cell_policy=policy,
+                oracle=case.oracle,
+                controller_point=case.die.center,
+                candidate_limit=CANDIDATE_LIMIT,
+            )
+            tree = merger.run()
+            results[label] = _measure(
+                label, tree, tech, route_enables(tree, layout, tech)
+            )
+        return results
+
+    results = run_once(sweep)
+    record(
+        "ablation_topology",
+        format_table(
+            ["topology", "W total", "W clock", "W ctrl", "wirelength", "gates", "phase delay"],
+            [
+                [
+                    label,
+                    r.switched_cap.total,
+                    r.switched_cap.clock_tree,
+                    r.switched_cap.controller_tree,
+                    r.wirelength,
+                    r.gate_count,
+                    r.phase_delay,
+                ]
+                for label, r in results.items()
+            ],
+            title="Ablation: topology generators (r1, scale=%.2f)" % scale,
+        ),
+    )
+
+    for label, result in results.items():
+        assert result.skew <= 1e-6 * max(result.phase_delay, 1.0), label
+    # The paper's activity-aware greedy must win on total W.
+    assert (
+        results["sc-greedy"].switched_cap.total
+        <= min(r.switched_cap.total for r in results.values()) * 1.001
+    )

@@ -1,0 +1,81 @@
+"""Section 4.2's complexity claim: O(B + K^2 * N^2).
+
+Three scaling probes:
+
+* table construction is linear in the stream length B,
+* per-query probability computation is polynomial in K (O(K) signal /
+  O(K^2) transition),
+* the full exact-greedy router scales near-quadratically in N.
+
+Wall-clock ratios on a shared machine are noisy, so the assertions are
+loose upper bounds ruling out a *worse* complexity class, not exact
+exponents.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
+from repro.bench.sinks import SinkGenerator
+from repro.activity.tables import ActivityTables
+from repro.activity.probability import ActivityOracle
+from repro.core.flow import route_gated
+
+
+def _time(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_stream_scan_linear_in_b(run_once, record):
+    cpu = CpuModel(CpuModelConfig(num_modules=64, num_instructions=16, seed=0))
+    streams = {b: cpu.stream(b) for b in (20000, 80000)}
+
+    def measure():
+        return {
+            b: _time(lambda s=s: ActivityTables.from_stream(cpu.isa, s))
+            for b, s in streams.items()
+        }
+
+    times = run_once(measure)
+    record(
+        "complexity_stream_scan",
+        format_table(
+            ["B", "seconds"], [[b, t] for b, t in times.items()],
+            title="Table-building time vs stream length (O(B))",
+        ),
+    )
+    # 4x the stream should cost clearly less than ~12x the time.
+    assert times[80000] < 12 * max(times[20000], 1e-5)
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_router_scales_near_quadratic_in_n(run_once, tech, record):
+    sizes = (40, 80, 160)
+
+    def measure():
+        times = {}
+        for n in sizes:
+            sinks = SinkGenerator(num_sinks=n, seed=1).generate()
+            cpu = CpuModel(CpuModelConfig(num_modules=n, num_instructions=16, seed=1))
+            oracle = ActivityOracle(cpu.tables_from_stream(4000))
+            times[n] = _time(
+                lambda s=sinks, o=oracle: route_gated(s, tech, oracle=o)
+            )
+        return times
+
+    times = run_once(measure)
+    record(
+        "complexity_router_scaling",
+        format_table(
+            ["N", "seconds"], [[n, t] for n, t in times.items()],
+            title="Exact-greedy routing time vs sink count (O(K N^2) regime)",
+        ),
+    )
+    # Doubling N should not cost more than ~10x (quadratic would be 4x).
+    assert times[80] < 10 * max(times[40], 1e-4)
+    assert times[160] < 10 * max(times[80], 1e-4)

@@ -1,0 +1,75 @@
+"""Extension E1: skew budget vs wirelength and switched capacitance.
+
+The paper routes with exact zero skew.  Real flows allow a small skew
+bound; the deferred-merge machinery generalizes directly (see
+:mod:`repro.cts.bounded`).  This bench sweeps the budget and reports
+how much wire and switched capacitance it buys back -- mostly by
+avoiding the snaking that balances gated/ungated sibling merges.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+
+
+@pytest.mark.benchmark(group="ext-bounded-skew")
+def test_extension_bounded_skew(run_once, scale, tech, record):
+    case = load_benchmark("r1", scale=scale)
+    reduction = GateReductionPolicy.from_knob(DEFAULT_KNOB, tech)
+
+    # Budgets as fractions of the zero-skew phase delay.
+    def sweep():
+        zero = route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            candidate_limit=CANDIDATE_LIMIT,
+            reduction=reduction,
+        )
+        rows = [(0.0, zero)]
+        for fraction in (0.02, 0.05, 0.15):
+            bound = fraction * zero.phase_delay
+            result = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                reduction=reduction,
+                skew_bound=bound,
+            )
+            rows.append((bound, result))
+        return rows
+
+    rows = run_once(sweep)
+    zero = rows[0][1]
+    record(
+        "extension_bounded_skew",
+        format_table(
+            ["bound", "skew", "wirelength", "wl vs zero-skew", "W total"],
+            [
+                [
+                    bound,
+                    r.skew,
+                    r.wirelength,
+                    r.wirelength / zero.wirelength,
+                    r.switched_cap.total,
+                ]
+                for bound, r in rows
+            ],
+            title="Extension: skew budget vs wire and W (r1, scale=%.2f)" % scale,
+        ),
+    )
+
+    for bound, result in rows:
+        assert result.skew <= bound * (1 + 1e-6) + 1e-9
+    # A non-trivial budget must not cost wire, and the largest budget
+    # should show real savings.
+    wl = [r.wirelength for _, r in rows]
+    assert wl[-1] <= wl[0] * 1.001
+    assert wl[-1] < wl[0]

@@ -1,0 +1,58 @@
+"""Fig. 3: buffered vs gated vs gate-reduced, switched cap and area.
+
+The paper's headline comparison over r1-r5.  Expected shape (checked
+as assertions): the fully gated tree is *worse* than the buffered
+baseline -- the star-routed controller dominates -- while the
+gate-reduced tree is *better*; both gated variants pay routing area.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import ComparisonRow, format_comparison
+from repro.bench.suite import benchmark_names, load_benchmark
+from repro.core.flow import route_buffered, route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("name", benchmark_names())
+def test_fig3_method_comparison(run_once, scale, tech, record, name):
+    case = load_benchmark(name, scale=scale)
+
+    def route_all():
+        return [
+            route_buffered(case.sinks, tech, candidate_limit=CANDIDATE_LIMIT),
+            route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+            ),
+            route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                reduction=GateReductionPolicy.from_knob(DEFAULT_KNOB, tech),
+            ),
+        ]
+
+    results = run_once(route_all)
+    rows = [ComparisonRow.from_result(name, r) for r in results]
+    record(
+        "fig3_%s" % name,
+        format_comparison(rows, title="Fig. 3 (%s, scale=%.2f)" % (name, scale)),
+    )
+
+    buffered, gated, reduced = results
+    # Paper shape: gated-all > buffered > gate-reduced in switched cap.
+    assert gated.switched_cap.total > buffered.switched_cap.total
+    assert reduced.switched_cap.total < buffered.switched_cap.total
+    # Area overhead stays (section 5.1's closing observation).
+    assert reduced.area.total > buffered.area.total
+    # Zero skew everywhere.
+    for result in results:
+        assert result.skew <= 1e-6 * max(result.phase_delay, 1.0)

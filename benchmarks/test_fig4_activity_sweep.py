@@ -1,0 +1,70 @@
+"""Fig. 4: average module activity vs switched capacitance (r1).
+
+The paper plots the gate-reduced tree against the buffered one while
+sweeping how busy the modules are: the gap shrinks as activity grows
+("gated clock routing is more effective when the module activity is
+low"), and the gated clock tree's power floors at roughly the average
+activity fraction of the ungated tree.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_buffered, route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.core.switched_cap import masking_efficiency
+
+ACTIVITIES = (0.05, 0.1, 0.2, 0.3, 0.4, 0.55, 0.7, 0.85)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_activity_sweep(run_once, scale, tech, record):
+    def sweep():
+        rows = []
+        for activity in ACTIVITIES:
+            case = load_benchmark("r1", scale=scale, target_activity=activity)
+            buffered = route_buffered(case.sinks, tech, candidate_limit=CANDIDATE_LIMIT)
+            reduced = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                reduction=GateReductionPolicy.from_knob(DEFAULT_KNOB, tech),
+            )
+            rows.append(
+                {
+                    "target": activity,
+                    "measured": case.tables.average_module_activity(),
+                    "w_buffered": buffered.switched_cap.total,
+                    "w_reduced": reduced.switched_cap.total,
+                    "ratio": reduced.switched_cap.total / buffered.switched_cap.total,
+                    "mask": masking_efficiency(reduced.tree, tech),
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    record(
+        "fig4_activity_sweep",
+        format_table(
+            ["activity", "measured", "W buffered", "W gate-red", "ratio", "clk mask"],
+            [
+                [r["target"], r["measured"], r["w_buffered"], r["w_reduced"], r["ratio"], r["mask"]]
+                for r in rows
+            ],
+            title="Fig. 4: module activity vs switched capacitance (r1, scale=%.2f)" % scale,
+        ),
+    )
+
+    ratios = [r["ratio"] for r in rows]
+    # Savings shrink as activity grows (allow small local noise by
+    # comparing the sweep's ends and a midpoint).
+    assert ratios[0] < ratios[3] < max(ratios[5:])
+    # Strong gating at very low activity.
+    assert ratios[0] < 0.6
+    # Masking floor tracks the measured average activity.
+    for r in rows:
+        assert r["mask"] >= 0.5 * r["measured"]

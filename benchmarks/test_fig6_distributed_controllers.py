@@ -1,0 +1,76 @@
+"""Fig. 6 / section 6: centralized vs distributed gate controllers.
+
+Partitioning the die into k regions with one controller each shrinks
+the enable star wiring; the paper's analysis predicts total star
+wirelength ``G * D / (4 sqrt(k))``, i.e. a 1/sqrt(k) scaling.  The
+bench measures the routed star against that model on r1-r3.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.controller import expected_star_wirelength
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+
+CONTROLLER_COUNTS = (1, 4, 16, 64)
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("name", ["r1", "r2", "r3"])
+def test_fig6_distributed_controllers(run_once, scale, tech, record, name):
+    case = load_benchmark(name, scale=scale)
+    reduction = GateReductionPolicy.from_knob(DEFAULT_KNOB, tech)
+
+    def sweep():
+        return {
+            k: route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                num_controllers=k,
+                reduction=reduction,
+            )
+            for k in CONTROLLER_COUNTS
+        }
+
+    results = run_once(sweep)
+    rows = []
+    for k, result in results.items():
+        analytic = expected_star_wirelength(case.die.width, result.gate_count, k)
+        rows.append(
+            [
+                k,
+                result.gate_count,
+                result.area.controller_wire,
+                analytic,
+                result.switched_cap.controller_tree,
+                result.switched_cap.total,
+            ]
+        )
+    record(
+        "fig6_%s" % name,
+        format_table(
+            ["k", "gates", "star wire", "analytic G*D/(4*sqrt(k))", "W ctrl", "W total"],
+            rows,
+            title="Fig. 6: distributed controllers (%s, scale=%.2f)" % (name, scale),
+        ),
+    )
+
+    wire = {k: r.area.controller_wire for k, r in results.items()}
+    # Monotone decrease with k.
+    assert wire[1] > wire[4] > wire[16] > wire[64]
+    # Roughly 1/sqrt(k): each 4x in controllers halves the star, within
+    # a generous band (gates are not uniformly spread).
+    for lo, hi in ((1, 4), (4, 16), (16, 64)):
+        factor = wire[lo] / wire[hi]
+        assert 1.3 <= factor <= 3.2, (lo, hi, factor)
+    # Total switched capacitance improves monotonically too.
+    totals = [results[k].switched_cap.total for k in CONTROLLER_COUNTS]
+    assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))

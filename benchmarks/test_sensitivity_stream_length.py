@@ -1,0 +1,79 @@
+"""Sensitivity S1: how long a trace do the statistics need?
+
+The paper uses traces of tens of thousands of cycles and argues the
+brute-force alternative gets "very expensive" because rare
+instructions need long streams.  This bench quantifies the trade: the
+routed design's W is evaluated under a long (100k-cycle) reference
+trace while the tables that *drove the routing* come from
+progressively shorter ones.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.activity.probability import ActivityOracle
+from repro.activity.tables import ActivityTables
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.sim import ClockNetworkSimulator
+
+LENGTHS = (100, 1000, 10000)
+REFERENCE_CYCLES = 100000
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_sensitivity_stream_length(run_once, scale, tech, record):
+    case = load_benchmark("r1", scale=scale)
+    reference = case.cpu.stream(REFERENCE_CYCLES, seed=31337)
+
+    def sweep():
+        rows = []
+        for length in LENGTHS:
+            oracle = ActivityOracle(
+                ActivityTables.from_stream(case.cpu.isa, case.cpu.stream(length))
+            )
+            result = route_gated(
+                case.sinks,
+                tech,
+                oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                reduction=GateReductionPolicy.from_knob(DEFAULT_KNOB, tech),
+            )
+            sim = ClockNetworkSimulator(
+                result.tree, tech, case.cpu.isa, routing=result.routing
+            )
+            replayed = sim.run(reference).mean_total
+            rows.append(
+                [
+                    length,
+                    result.switched_cap.total,
+                    replayed,
+                    abs(replayed - result.switched_cap.total)
+                    / max(replayed, 1e-12),
+                ]
+            )
+        return rows
+
+    rows = run_once(sweep)
+    record(
+        "sensitivity_stream_length",
+        format_table(
+            [
+                "training cycles",
+                "W per its own tables",
+                "W replayed on 100k-cycle reference",
+                "model error",
+            ],
+            rows,
+            title="Sensitivity: training-trace length (r1, scale=%.2f)" % scale,
+        ),
+    )
+
+    errors = [row[3] for row in rows]
+    # Longer training traces give a more faithful model; the paper's
+    # 10k-cycle regime must be within a few percent of ground truth.
+    assert errors[-1] < 0.05
+    assert errors[-1] <= errors[0] + 1e-9

@@ -1,0 +1,29 @@
+"""Table 4: benchmark characteristics.
+
+Paper row format: benchmark, number of sinks, number of instructions,
+and ``Ave(M(I))`` -- the average fraction of modules used per executed
+instruction, about 0.4 for every benchmark.
+"""
+
+import pytest
+
+from repro.analysis.report import format_characteristics
+from repro.bench.suite import benchmark_names, load_benchmark
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_characteristics(run_once, scale, record):
+    def build():
+        rows = {}
+        for name in benchmark_names():
+            case = load_benchmark(name, scale=scale)
+            rows[name] = case.characteristics()
+        return rows
+
+    rows = run_once(build)
+    record("table4_characteristics", format_characteristics(rows))
+
+    for name, row in rows.items():
+        # The paper's Ave(M(I)) is ~0.4 across the board.
+        assert row["ave_modules_per_instruction"] == pytest.approx(0.4, abs=0.15), name
+        assert row["stream_cycles"] == 10000

@@ -1,0 +1,84 @@
+"""Validation V1: cycle-accurate replay vs the statistical model.
+
+The paper's entire methodology rests on replacing clock-by-clock
+simulation with IFT/IMATT statistics.  This bench runs the expensive
+simulation anyway and reports both:
+
+* **in-sample**: replaying the construction trace must reproduce the
+  analytic W(T)/W(S) exactly;
+* **out-of-sample**: replaying fresh traces from the same CPU measures
+  the statistical model's generalization error.
+"""
+
+import pytest
+
+from benchmarks.conftest import CANDIDATE_LIMIT, DEFAULT_KNOB
+from repro.analysis.report import format_table
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.sim import ClockNetworkSimulator
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_simulation(run_once, scale, tech, record):
+    case = load_benchmark("r1", scale=scale)
+
+    def study():
+        rows = []
+        for label, reduction in (
+            ("gated", None),
+            ("gate-red", GateReductionPolicy.from_knob(DEFAULT_KNOB, tech)),
+        ):
+            result = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=CANDIDATE_LIMIT,
+                reduction=reduction,
+            )
+            sim = ClockNetworkSimulator(
+                result.tree, tech, case.cpu.isa, routing=result.routing
+            )
+            in_sample = sim.run(case.stream)
+            fresh_means = [
+                sim.run(case.cpu.stream(len(case.stream), seed=1000 + i)).mean_total
+                for i in range(3)
+            ]
+            analytic = result.switched_cap.total
+            rows.append(
+                [
+                    label,
+                    analytic,
+                    in_sample.mean_total,
+                    abs(in_sample.mean_total - analytic) / analytic,
+                    sum(fresh_means) / len(fresh_means),
+                    max(abs(m - analytic) / analytic for m in fresh_means),
+                    in_sample.peak_total,
+                ]
+            )
+        return rows
+
+    rows = run_once(study)
+    record(
+        "validation_simulation",
+        format_table(
+            [
+                "method",
+                "analytic W",
+                "replayed W",
+                "in-sample err",
+                "fresh-trace W (avg of 3)",
+                "max fresh err",
+                "peak W (1 cycle)",
+            ],
+            rows,
+            title="Validation: cycle-accurate replay vs statistics (r1, scale=%.2f)"
+            % scale,
+        ),
+    )
+
+    for row in rows:
+        assert row[3] < 1e-9  # in-sample: exact
+        assert row[5] < 0.10  # out-of-sample: within 10%

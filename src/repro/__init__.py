@@ -1,0 +1,77 @@
+"""repro -- gated clock routing minimizing the switched capacitance.
+
+A full reproduction of Oh & Pedram (DATE 1998): activity-driven,
+zero-skew, gated clock-tree synthesis, including the buffered baseline,
+the table-driven activity statistics, the gate-reduction heuristic,
+and the distributed-controller extension.
+
+Quickstart::
+
+    from repro import load_benchmark, route_buffered, route_gated
+    from repro import GateReductionPolicy, date98_technology
+
+    case = load_benchmark("r1", scale=0.2)
+    tech = date98_technology()
+    base = route_buffered(case.sinks, tech)
+    gated = route_gated(
+        case.sinks, tech, case.oracle, die=case.die,
+        reduction=GateReductionPolicy.from_knob(0.55, tech),
+    )
+    print(base.summary())
+    print(gated.summary())
+"""
+
+from repro.activity import (
+    ActivityOracle,
+    ActivityTables,
+    Instruction,
+    InstructionSet,
+    InstructionStream,
+    MarkovStreamModel,
+)
+from repro.bench import BenchmarkCase, CpuModel, CpuModelConfig, load_benchmark
+from repro.core import (
+    ClockRoutingResult,
+    ControllerLayout,
+    GateReductionPolicy,
+    build_gated_tree,
+    route_buffered,
+    route_gated,
+)
+from repro.core.gate_sizing import GateSizingPolicy
+from repro.cts import ClockTree, Sink, build_buffered_tree
+from repro.geometry import Point
+from repro.sim import ClockNetworkSimulator
+from repro.tech import GateModel, Technology, date98_technology, unit_technology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityOracle",
+    "ActivityTables",
+    "Instruction",
+    "InstructionSet",
+    "InstructionStream",
+    "MarkovStreamModel",
+    "BenchmarkCase",
+    "CpuModel",
+    "CpuModelConfig",
+    "load_benchmark",
+    "ClockRoutingResult",
+    "ControllerLayout",
+    "GateReductionPolicy",
+    "build_gated_tree",
+    "route_buffered",
+    "route_gated",
+    "GateSizingPolicy",
+    "ClockTree",
+    "Sink",
+    "build_buffered_tree",
+    "Point",
+    "ClockNetworkSimulator",
+    "GateModel",
+    "Technology",
+    "date98_technology",
+    "unit_technology",
+    "__version__",
+]

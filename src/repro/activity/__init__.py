@@ -1,0 +1,40 @@
+"""Module-activity substrate (paper section 3).
+
+Gated clock routing is driven by two probabilities per candidate tree
+node ``v`` (whose leaves are modules ``M_1..M_l``):
+
+* ``P(EN_v)``   -- signal probability: fraction of cycles any of the
+  modules is active (the enable is 1),
+* ``P_tr(EN_v)`` -- transition probability: fraction of consecutive
+  cycle pairs in which the enable toggles.
+
+The paper computes both from two tables built by a *single* scan of an
+instruction-level trace: the Instruction Frequency Table (IFT) and the
+Instruction-Transition Module-Activation Table (IMATT).  This package
+implements:
+
+* :mod:`repro.activity.isa` -- instruction sets with their RTL usage
+  (instruction -> set of modules exercised),
+* :mod:`repro.activity.stream` -- instruction streams and the Markov
+  model used to synthesize them,
+* :mod:`repro.activity.tables` -- IFT/IMATT built from a stream, or
+  analytically from a Markov model,
+* :mod:`repro.activity.probability` -- the table-driven oracle for
+  ``P(EN)`` / ``P_tr(EN)`` plus the brute-force stream scanner used as
+  a testing reference.
+"""
+
+from repro.activity.isa import Instruction, InstructionSet
+from repro.activity.stream import InstructionStream, MarkovStreamModel
+from repro.activity.tables import ActivityTables
+from repro.activity.probability import ActivityOracle, scan_stream_probabilities
+
+__all__ = [
+    "Instruction",
+    "InstructionSet",
+    "InstructionStream",
+    "MarkovStreamModel",
+    "ActivityTables",
+    "ActivityOracle",
+    "scan_stream_probabilities",
+]

@@ -1,0 +1,157 @@
+"""Instruction streams and the probabilistic CPU model behind them.
+
+The paper derives its activity statistics from instruction-level
+simulation of a processor running benchmark programs, "generated
+according to a probabilistic model of the CPU".  We model the executed
+instruction sequence as a first-order Markov chain: a *locality* knob
+interpolates between i.i.d. draws (locality 0, maximal enable
+switching) and long bursts of the same instruction (locality near 1,
+few enable transitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InstructionStream:
+    """An executed instruction trace: an array of instruction ids."""
+
+    ids: np.ndarray
+
+    def __post_init__(self):
+        ids = np.asarray(self.ids, dtype=np.int64)
+        if ids.ndim != 1 or ids.size == 0:
+            raise ValueError("stream must be a non-empty 1-D sequence")
+        if ids.min() < 0:
+            raise ValueError("instruction ids must be non-negative")
+        object.__setattr__(self, "ids", ids)
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of consecutive-cycle pairs (stream length - 1)."""
+        return len(self) - 1
+
+    def counts(self, num_instructions: int) -> np.ndarray:
+        """Occurrences of each instruction id."""
+        if self.ids.max() >= num_instructions:
+            raise ValueError("stream references instruction >= K")
+        return np.bincount(self.ids, minlength=num_instructions)
+
+    def pair_counts(self, num_instructions: int) -> np.ndarray:
+        """K x K matrix of consecutive-pair occurrences."""
+        if len(self) < 2:
+            return np.zeros((num_instructions, num_instructions), dtype=np.int64)
+        a, b = self.ids[:-1], self.ids[1:]
+        flat = np.bincount(
+            a * num_instructions + b, minlength=num_instructions * num_instructions
+        )
+        return flat.reshape(num_instructions, num_instructions)
+
+
+class MarkovStreamModel:
+    """First-order Markov chain over instructions.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic K x K matrix; ``transition[i, j]`` is the
+        probability that instruction ``j`` follows instruction ``i``.
+    initial:
+        Distribution of the first instruction; defaults to the chain's
+        stationary distribution.
+    """
+
+    def __init__(self, transition: np.ndarray, initial: Optional[np.ndarray] = None):
+        t = np.asarray(transition, dtype=float)
+        if t.ndim != 2 or t.shape[0] != t.shape[1]:
+            raise ValueError("transition matrix must be square")
+        if np.any(t < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        rows = t.sum(axis=1)
+        if np.any(np.abs(rows - 1.0) > 1e-6):
+            raise ValueError("transition matrix rows must sum to 1")
+        self.transition = np.clip(t, 0.0, None)
+        self.transition /= self.transition.sum(axis=1, keepdims=True)
+        if initial is None:
+            initial = self.stationary_distribution()
+        initial = np.asarray(initial, dtype=float)
+        if initial.shape != (t.shape[0],) or abs(initial.sum() - 1.0) > 1e-6:
+            raise ValueError("initial distribution malformed")
+        self.initial = initial / initial.sum()
+
+    @property
+    def num_instructions(self) -> int:
+        return self.transition.shape[0]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution ``pi`` with ``pi @ T = pi``.
+
+        Solved as a linear system (more robust than power iteration for
+        the small K used here).
+        """
+        k = self.transition.shape[0]
+        a = np.vstack([self.transition.T - np.eye(k), np.ones((1, k))])
+        b = np.zeros(k + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise ValueError("chain has no valid stationary distribution")
+        return pi / total
+
+    def pair_distribution(self) -> np.ndarray:
+        """Stationary joint distribution of consecutive instructions.
+
+        ``P[i, j] = pi_i * T[i, j]`` -- the analytic counterpart of the
+        IMATT pair probabilities.
+        """
+        pi = self.stationary_distribution()
+        return pi[:, None] * self.transition
+
+    def generate(self, length: int, rng: np.random.Generator) -> InstructionStream:
+        """Sample a stream of the given length."""
+        if length < 1:
+            raise ValueError("length must be positive")
+        k = self.num_instructions
+        ids = np.empty(length, dtype=np.int64)
+        ids[0] = rng.choice(k, p=self.initial)
+        # Pre-draw uniforms and walk cumulative rows: much faster than
+        # rng.choice per step for long streams.
+        cum = np.cumsum(self.transition, axis=1)
+        cum[:, -1] = 1.0
+        uniforms = rng.random(length - 1)
+        for n in range(1, length):
+            ids[n] = np.searchsorted(cum[ids[n - 1]], uniforms[n - 1], side="right")
+        return InstructionStream(ids=ids)
+
+    @staticmethod
+    def from_locality(
+        popularity: Sequence[float], locality: float, rng: Optional[np.random.Generator] = None
+    ) -> "MarkovStreamModel":
+        """Build a chain with a given self-transition bias.
+
+        ``T = locality * I + (1 - locality) * (1 pi^T)`` where ``pi`` is
+        the normalized ``popularity``.  The stationary distribution is
+        exactly ``pi`` for any locality, while the enable transition
+        probabilities shrink as locality grows -- the knob used for the
+        controller-power studies.  ``rng`` is accepted for symmetry with
+        other factories but unused (the construction is deterministic).
+        """
+        if not 0.0 <= locality < 1.0:
+            raise ValueError("locality must be in [0, 1)")
+        pi = np.asarray(popularity, dtype=float)
+        if np.any(pi < 0) or pi.sum() <= 0:
+            raise ValueError("popularity must be non-negative, non-zero")
+        pi = pi / pi.sum()
+        k = pi.size
+        t = locality * np.eye(k) + (1.0 - locality) * np.tile(pi, (k, 1))
+        return MarkovStreamModel(transition=t, initial=pi)

@@ -1,0 +1,77 @@
+"""Tiny ASCII charts for terminal-friendly result plots.
+
+The paper's figures are bar/line charts; these helpers render the
+regenerated data directly in the terminal so the examples and the CLI
+can show the *shape* (who wins, where the optimum sits) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            "%s  %s %.4g%s" % (str(label).rjust(label_w), bar.ljust(width), value, unit)
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter/line chart of (x, y) points on a character grid."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    if width < 2 or height < 2:
+        raise ValueError("grid too small")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = round((x - x0) / xspan * (width - 1))
+        row = height - 1 - round((y - y0) / yspan * (height - 1))
+        grid[row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("%.4g" % y1)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        " %-*.4g%*.4g   (y: %.4g..%.4g)" % (width // 2, x0, width - width // 2, x1, y0, y1)
+    )
+    return "\n".join(lines)

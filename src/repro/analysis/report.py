@@ -1,0 +1,138 @@
+"""Paper-style text reporting.
+
+The benchmark harness regenerates each table/figure of the paper as a
+text table; the builders here are shared between the pytest benches,
+the examples, and the CLI so every surface prints identical rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.flow import ClockRoutingResult
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One bar group of Fig. 3: a benchmark under one routing method."""
+
+    benchmark: str
+    method: str
+    switched_cap: float
+    clock_cap: float
+    controller_cap: float
+    area_total: float
+    area_clock_wire: float
+    area_controller_wire: float
+    gate_count: int
+    gate_reduction: float
+    skew: float
+    phase_delay: float
+    wirelength: float
+
+    @staticmethod
+    def from_result(benchmark: str, result: ClockRoutingResult) -> "ComparisonRow":
+        return ComparisonRow(
+            benchmark=benchmark,
+            method=result.method,
+            switched_cap=result.switched_cap.total,
+            clock_cap=result.switched_cap.clock_tree,
+            controller_cap=result.switched_cap.controller_tree,
+            area_total=result.area.total,
+            area_clock_wire=result.area.clock_wire,
+            area_controller_wire=result.area.controller_wire,
+            gate_count=result.gate_count,
+            gate_reduction=result.gate_reduction,
+            skew=result.skew,
+            phase_delay=result.phase_delay,
+            wirelength=result.wirelength,
+        )
+
+
+def method_comparison_rows(
+    benchmark: str, results: Sequence[ClockRoutingResult]
+) -> List[ComparisonRow]:
+    """Fig. 3 rows for one benchmark."""
+    return [ComparisonRow.from_result(benchmark, r) for r in results]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table (floats rendered with 4 significant digits)."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return "%.4g" % value
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(rows: Sequence[ComparisonRow], title: str) -> str:
+    """Fig. 3-style table: switched cap and area per method."""
+    headers = [
+        "bench",
+        "method",
+        "W total (pF)",
+        "W clock",
+        "W ctrl",
+        "area (1e6 l^2)",
+        "gates",
+        "reduction",
+        "skew",
+    ]
+    data = [
+        [
+            r.benchmark,
+            r.method,
+            r.switched_cap,
+            r.clock_cap,
+            r.controller_cap,
+            r.area_total / 1e6,
+            r.gate_count,
+            r.gate_reduction,
+            r.skew,
+        ]
+        for r in rows
+    ]
+    return format_table(headers, data, title=title)
+
+
+def format_characteristics(rows: Dict[str, Dict[str, float]]) -> str:
+    """Table 4: benchmark characteristics."""
+    headers = [
+        "bench",
+        "sinks",
+        "instructions",
+        "stream cycles",
+        "Ave(M(I))",
+        "avg activity",
+    ]
+    data = [
+        [
+            name,
+            int(c["sinks"]),
+            int(c["instructions"]),
+            int(c["stream_cycles"]),
+            c["ave_modules_per_instruction"],
+            c["average_module_activity"],
+        ]
+        for name, c in rows.items()
+    ]
+    return format_table(headers, data, title="Table 4: benchmark characteristics")

@@ -1,0 +1,91 @@
+"""Wirelength references: rectilinear MST and quality ratios.
+
+Clock-tree papers report wirelength against the rectilinear minimum
+spanning tree of the sinks -- cheap to compute (Prim, O(N^2)) and a
+2-approximation of the rectilinear Steiner minimum tree, so
+``tree wirelength / RMST`` is a technology-independent quality figure.
+A zero-skew tree is necessarily longer than the RMST (it must balance,
+not just connect); typical DME trees land around 1.1-1.5x.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cts.topology import ClockTree, Sink
+from repro.geometry.point import Point
+
+
+def rectilinear_mst_length(points: Sequence[Point]) -> float:
+    """Length of the Manhattan-metric minimum spanning tree (Prim)."""
+    n = len(points)
+    if n == 0:
+        raise ValueError("need at least one point")
+    if n == 1:
+        return 0.0
+    xs = np.array([p.x for p in points], dtype=float)
+    ys = np.array([p.y for p in points], dtype=float)
+    in_tree = np.zeros(n, dtype=bool)
+    best = np.full(n, np.inf)
+    in_tree[0] = True
+    best = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    best[0] = np.inf
+    total = 0.0
+    for _ in range(n - 1):
+        nxt = int(np.argmin(best))
+        total += float(best[nxt])
+        in_tree[nxt] = True
+        dist = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
+        best = np.minimum(best, dist)
+        best[in_tree] = np.inf
+    return total
+
+
+def rectilinear_mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
+    """The MST's edges as point-index pairs (Prim order)."""
+    n = len(points)
+    if n == 0:
+        raise ValueError("need at least one point")
+    if n == 1:
+        return []
+    xs = np.array([p.x for p in points], dtype=float)
+    ys = np.array([p.y for p in points], dtype=float)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    parent = np.zeros(n, dtype=int)
+    best[0] = np.inf
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        nxt = int(np.argmin(best))
+        edges.append((int(parent[nxt]), nxt))
+        in_tree[nxt] = True
+        dist = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
+        better = dist < best
+        parent[better] = nxt
+        best = np.minimum(best, dist)
+        best[in_tree] = np.inf
+    return edges
+
+
+def wirelength_quality(tree: ClockTree) -> float:
+    """``tree wirelength / sink RMST`` -- >= 1 for any connected tree
+    whose sinks are leaves (balancing and Steiner points only add
+    wire relative to the spanning lower reference in practice)."""
+    sinks = [n.sink.location for n in tree.sinks()]
+    mst = rectilinear_mst_length(sinks)
+    if mst == 0.0:
+        return 1.0
+    return tree.total_wirelength() / mst
+
+
+def half_perimeter_lower_bound(sinks: Sequence[Sink]) -> float:
+    """Half the sink bounding-box perimeter -- a weak universal lower
+    bound on any connecting tree's wirelength."""
+    if not sinks:
+        raise ValueError("need at least one sink")
+    xs = [s.location.x for s in sinks]
+    ys = [s.location.y for s in sinks]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))

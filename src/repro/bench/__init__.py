@@ -1,0 +1,26 @@
+"""Benchmark instances: sink sets and the probabilistic CPU workload.
+
+The paper evaluates on Tsay's r1-r5 sink benchmarks with instruction
+streams "generated according to a probabilistic model of the CPU".
+The original sink files are not redistributable, so
+:mod:`repro.bench.sinks` synthesizes seeded sink sets with the same
+sink counts; :mod:`repro.bench.cpu_model` synthesizes the ISA + Markov
+instruction stream with the paper's ~40% average module usage; and
+:mod:`repro.bench.suite` bundles both into ready-to-route benchmark
+cases.
+"""
+
+from repro.bench.sinks import R_BENCHMARK_SIZES, SinkGenerator, generate_sinks
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
+from repro.bench.suite import BenchmarkCase, load_benchmark, benchmark_names
+
+__all__ = [
+    "R_BENCHMARK_SIZES",
+    "SinkGenerator",
+    "generate_sinks",
+    "CpuModel",
+    "CpuModelConfig",
+    "BenchmarkCase",
+    "load_benchmark",
+    "benchmark_names",
+]

@@ -1,0 +1,130 @@
+"""Synthetic r1-r5 sink benchmarks.
+
+Tsay's r1-r5 (ICCAD'91) are the standard zero-skew routing benchmarks
+the paper uses; they contain 267 / 598 / 862 / 1903 / 3101 sinks.  The
+files themselves are not redistributable, so we draw seeded sink sets
+with the same counts: uniform placement over a square die whose side
+grows with sqrt(N) (constant sink density, as in real designs) and
+load capacitances uniform over a small range.  All of the paper's
+comparisons are relative between routers on identical sinks, so the
+result *shapes* are insensitive to the exact coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cts.topology import Sink
+from repro.core.controller import Die
+from repro.geometry.point import Point
+
+#: Sink counts of Tsay's r1-r5.
+R_BENCHMARK_SIZES: Dict[str, int] = {
+    "r1": 267,
+    "r2": 598,
+    "r3": 862,
+    "r4": 1903,
+    "r5": 3101,
+}
+
+#: Die side shared by all benchmarks, in lambda.  The r benchmarks are
+#: treated as one die-size family of increasing sink density, so the
+#: controller-star economics (edge length ~ D/4 regardless of N,
+#: total star wire growing with the gate count) match the paper's
+#: section-6 analysis.
+_DIE_SIDE = 30000.0
+
+#: Sink load capacitance range, pF.
+_LOAD_CAP_RANGE = (0.02, 0.08)
+
+
+@dataclass(frozen=True)
+class SinkGenerator:
+    """Seeded generator of benchmark sink sets."""
+
+    num_sinks: int
+    die_side: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_sinks < 1:
+            raise ValueError("need at least one sink")
+
+    def resolved_die_side(self) -> float:
+        if self.die_side is not None:
+            return self.die_side
+        return _DIE_SIDE
+
+    def die(self) -> Die:
+        side = self.resolved_die_side()
+        return Die(0.0, 0.0, side, side)
+
+    def generate(self) -> List[Sink]:
+        """Draw uniformly placed sinks (deterministic for a config)."""
+        rng = np.random.default_rng(self.seed)
+        side = self.resolved_die_side()
+        xs = rng.uniform(0.0, side, self.num_sinks)
+        ys = rng.uniform(0.0, side, self.num_sinks)
+        return self._build(xs, ys, rng)
+
+    def generate_clustered(
+        self, cluster_of: np.ndarray, spread: float = 0.12
+    ) -> List[Sink]:
+        """Draw sinks grouped into placement blobs per functional cluster.
+
+        A placed design keeps the modules of one functional unit close
+        together; ``spread`` is the blob's Gaussian sigma as a fraction
+        of the die side (a large value degrades to uniform placement).
+        Module ``i`` becomes sink ``i``, so the spatial clusters line
+        up with the activity clusters of the CPU model.
+        """
+        cluster_of = np.asarray(cluster_of)
+        if cluster_of.shape != (self.num_sinks,):
+            raise ValueError("cluster assignment must cover every sink")
+        if spread <= 0:
+            raise ValueError("spread must be positive")
+        rng = np.random.default_rng(self.seed)
+        side = self.resolved_die_side()
+        num_clusters = int(cluster_of.max()) + 1
+        centers_x = rng.uniform(0.0, side, num_clusters)
+        centers_y = rng.uniform(0.0, side, num_clusters)
+        xs = centers_x[cluster_of] + rng.normal(0.0, spread * side, self.num_sinks)
+        ys = centers_y[cluster_of] + rng.normal(0.0, spread * side, self.num_sinks)
+        xs = np.clip(xs, 0.0, side)
+        ys = np.clip(ys, 0.0, side)
+        return self._build(xs, ys, rng)
+
+    def _build(
+        self, xs: np.ndarray, ys: np.ndarray, rng: np.random.Generator
+    ) -> List[Sink]:
+        caps = rng.uniform(*_LOAD_CAP_RANGE, self.num_sinks)
+        return [
+            Sink(
+                name="s%d" % i,
+                location=Point(float(xs[i]), float(ys[i])),
+                load_cap=float(caps[i]),
+                module=i,
+            )
+            for i in range(self.num_sinks)
+        ]
+
+
+def generate_sinks(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> SinkGenerator:
+    """A generator for one of the r1-r5 benchmarks.
+
+    ``scale`` shrinks the sink count (and die, via the density rule)
+    for quick runs: ``scale=0.25`` turns r5's 3101 sinks into 775.
+    """
+    if name not in R_BENCHMARK_SIZES:
+        raise KeyError("unknown benchmark %r (expected r1..r5)" % name)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must lie in (0, 1]")
+    count = max(2, int(round(R_BENCHMARK_SIZES[name] * scale)))
+    if seed is None:
+        seed = 1000 + int(name[1:])
+    return SinkGenerator(num_sinks=count, seed=seed)

@@ -1,0 +1,126 @@
+"""Ready-to-route benchmark cases (sinks + workload + oracle).
+
+``load_benchmark("r1")`` reproduces one row of the paper's Table 4:
+the sink set, the CPU model sized to it, a sampled instruction stream
+of ten thousand cycles, and the activity oracle built from it.
+
+The ``scale`` argument (or the ``REPRO_BENCH_SCALE`` environment
+variable, which the pytest benches honor) shrinks sink counts for
+quick runs; relative comparisons between routers are preserved.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.activity.probability import ActivityOracle
+from repro.activity.stream import InstructionStream
+from repro.activity.tables import ActivityTables
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
+from repro.bench.sinks import R_BENCHMARK_SIZES, generate_sinks
+from repro.core.controller import Die
+from repro.cts.topology import Sink
+
+#: Instruction-set sizes per benchmark (the paper's per-benchmark
+#: instruction counts were lost to OCR; these scale modestly with
+#: design size, as real ISAs do).
+_INSTRUCTION_COUNTS: Dict[str, int] = {
+    "r1": 16,
+    "r2": 24,
+    "r3": 32,
+    "r4": 40,
+    "r5": 48,
+}
+
+DEFAULT_STREAM_LENGTH = 10000
+
+
+def benchmark_names() -> List[str]:
+    """The benchmark ids, smallest first."""
+    return sorted(R_BENCHMARK_SIZES, key=lambda n: R_BENCHMARK_SIZES[n])
+
+
+def bench_scale(default: float = 0.25) -> float:
+    """Benchmark scale from ``REPRO_BENCH_SCALE`` (default 0.25)."""
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if raw is None:
+        return default
+    value = float(raw)
+    if not 0.0 < value <= 1.0:
+        raise ValueError("REPRO_BENCH_SCALE must lie in (0, 1]")
+    return value
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One paper benchmark, fully instantiated."""
+
+    name: str
+    sinks: Tuple[Sink, ...]
+    die: Die
+    cpu: CpuModel
+    stream: InstructionStream
+    tables: ActivityTables
+    oracle: ActivityOracle
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self.sinks)
+
+    def characteristics(self) -> Dict[str, float]:
+        """The Table 4 row for this benchmark."""
+        return {
+            "sinks": self.num_sinks,
+            "instructions": len(self.cpu.isa),
+            "stream_cycles": len(self.stream),
+            "ave_modules_per_instruction": self.cpu.isa.average_usage_fraction(
+                weights=self.tables.ift.tolist()
+            ),
+            "average_module_activity": self.tables.average_module_activity(),
+        }
+
+
+def load_benchmark(
+    name: str,
+    scale: float = 1.0,
+    stream_length: int = DEFAULT_STREAM_LENGTH,
+    target_activity: float = 0.4,
+    locality: float = 0.55,
+    placement_spread: Optional[float] = 0.12,
+    seed: Optional[int] = None,
+) -> BenchmarkCase:
+    """Instantiate one of r1-r5 with its synthetic workload.
+
+    ``placement_spread`` controls how tightly each functional cluster's
+    modules are placed together (``None`` = uniform placement, the
+    placement-blind ablation case).
+    """
+    generator = generate_sinks(name, scale=scale, seed=seed)
+    cpu = CpuModel(
+        CpuModelConfig(
+            num_modules=generator.num_sinks,
+            num_instructions=_INSTRUCTION_COUNTS[name],
+            target_activity=target_activity,
+            locality=locality,
+            seed=(seed if seed is not None else 1000 + int(name[1:])),
+        )
+    )
+    if placement_spread is None:
+        sinks = tuple(generator.generate())
+    else:
+        sinks = tuple(
+            generator.generate_clustered(cpu.cluster_of, spread=placement_spread)
+        )
+    stream = cpu.stream(stream_length)
+    tables = ActivityTables.from_stream(cpu.isa, stream)
+    return BenchmarkCase(
+        name=name,
+        sinks=sinks,
+        die=generator.die(),
+        cpu=cpu,
+        stream=stream,
+        tables=tables,
+        oracle=ActivityOracle(tables),
+    )

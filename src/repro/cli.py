@@ -1,0 +1,313 @@
+"""``gated-cts``: command-line driver for the gated clock router.
+
+Subcommands
+-----------
+``route``
+    Route one benchmark (or an external sink file) with one method and
+    print the result summary; optionally dump the tree (JSON) and a
+    layout picture (SVG).
+``characteristics``
+    Print the Table 4 row(s) for the synthetic benchmarks.
+``compare``
+    Buffered vs gated vs gate-reduced on one benchmark (a Fig. 3 bar
+    group).
+``sweep``
+    Gate-reduction sweep on one benchmark (the Fig. 5 data).
+``study``
+    Run a committed campaign spec (benchmarks x configurations) and
+    print/serialize the whole comparison.
+
+Examples::
+
+    gated-cts route --benchmark r1 --scale 0.4 --method reduced --svg out.svg
+    gated-cts route --sinks my.sinks --isa my_isa.json --trace my.trace
+    gated-cts compare --benchmark r2 --scale 0.4
+    gated-cts sweep --benchmark r1 --scale 0.4 --points 6
+    gated-cts study --spec studies/paper_fig3.json --out results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import (
+    ComparisonRow,
+    format_characteristics,
+    format_comparison,
+    format_table,
+)
+from repro.bench.suite import benchmark_names, load_benchmark
+from repro.core.controller import ControllerLayout
+from repro.core.flow import route_buffered, route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.io.svg import save_svg
+from repro.io.treejson import save_tree
+from repro.tech.presets import date98_technology
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmark", default="r1", choices=benchmark_names(), help="benchmark id"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.4, help="sink-count scale in (0, 1]"
+    )
+    parser.add_argument(
+        "--activity", type=float, default=0.4, help="target average module activity"
+    )
+    parser.add_argument(
+        "--candidate-limit",
+        type=int,
+        default=16,
+        help="k-nearest greedy candidate restriction (0 = exact greedy)",
+    )
+    parser.add_argument(
+        "--skew-bound",
+        type=float,
+        default=0.0,
+        help="skew budget in delay units (0 = exact zero skew)",
+    )
+    parser.add_argument(
+        "--gate-sizing",
+        action="store_true",
+        help="resize gates instead of snaking wire on unbalanced merges",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="benchmark seed")
+
+
+def _limit(args: argparse.Namespace) -> Optional[int]:
+    return None if args.candidate_limit == 0 else args.candidate_limit
+
+
+def _load_external(args: argparse.Namespace):
+    """Sinks/workload from user files instead of a synthetic benchmark."""
+    from repro.core.controller import Die
+    from repro.io.sinkfile import read_sinks
+    from repro.io.tracefile import load_workload
+
+    if not (args.isa and args.trace):
+        raise SystemExit("--sinks requires --isa and --trace")
+    sinks = tuple(read_sinks(args.sinks))
+    oracle = load_workload(args.isa, args.trace)
+    die = Die.bounding([s.location for s in sinks])
+
+    class _ExternalCase:
+        pass
+
+    case = _ExternalCase()
+    case.sinks = sinks
+    case.oracle = oracle
+    case.die = die
+    return case
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.core.gate_sizing import GateSizingPolicy
+
+    tech = date98_technology()
+    if args.sinks:
+        case = _load_external(args)
+    else:
+        case = load_benchmark(
+            args.benchmark,
+            scale=args.scale,
+            target_activity=args.activity,
+            seed=args.seed,
+        )
+    if args.method == "buffered":
+        result = route_buffered(
+            case.sinks,
+            tech,
+            candidate_limit=_limit(args),
+            skew_bound=args.skew_bound,
+        )
+    else:
+        reduction = (
+            GateReductionPolicy.from_knob(args.knob, tech)
+            if args.method == "reduced"
+            else None
+        )
+        result = route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            reduction=reduction,
+            num_controllers=args.controllers,
+            candidate_limit=_limit(args),
+            gate_sizing=GateSizingPolicy() if args.gate_sizing else None,
+            skew_bound=args.skew_bound,
+        )
+    print(result.summary())
+    if args.out:
+        save_tree(result.tree, args.out)
+        print("tree written to %s" % args.out)
+    if args.svg:
+        layout = (
+            ControllerLayout.centralized(case.die)
+            if args.controllers == 1
+            else ControllerLayout.distributed(case.die, args.controllers)
+        )
+        save_svg(result.tree, args.svg, routing=result.routing, layout=layout)
+        print("layout written to %s" % args.svg)
+    return 0
+
+
+def _cmd_characteristics(args: argparse.Namespace) -> int:
+    rows = {}
+    names = [args.benchmark] if args.benchmark else benchmark_names()
+    for name in names:
+        case = load_benchmark(
+            name, scale=args.scale, target_activity=args.activity, seed=args.seed
+        )
+        rows[name] = case.characteristics()
+    print(format_characteristics(rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    tech = date98_technology()
+    case = load_benchmark(
+        args.benchmark, scale=args.scale, target_activity=args.activity, seed=args.seed
+    )
+    limit = _limit(args)
+    results = [
+        route_buffered(case.sinks, tech, candidate_limit=limit),
+        route_gated(case.sinks, tech, case.oracle, die=case.die, candidate_limit=limit),
+        route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            candidate_limit=limit,
+            reduction=GateReductionPolicy.from_knob(args.knob, tech),
+        ),
+    ]
+    rows = [ComparisonRow.from_result(args.benchmark, r) for r in results]
+    print(format_comparison(rows, title="Fig. 3 comparison (%s)" % args.benchmark))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    tech = date98_technology()
+    case = load_benchmark(
+        args.benchmark, scale=args.scale, target_activity=args.activity, seed=args.seed
+    )
+    limit = _limit(args)
+    rows = []
+    for i in range(args.points):
+        knob = i / (args.points - 1) if args.points > 1 else 0.0
+        result = route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            candidate_limit=limit,
+            reduction=(
+                GateReductionPolicy.from_knob(knob, tech) if knob > 0 else None
+            ),
+        )
+        rows.append(
+            [
+                knob,
+                result.gate_reduction,
+                result.switched_cap.total,
+                result.switched_cap.clock_tree,
+                result.switched_cap.controller_tree,
+                result.area.total / 1e6,
+            ]
+        )
+    print(
+        format_table(
+            ["knob", "reduction", "W total", "W clock", "W ctrl", "area (1e6)"],
+            rows,
+            title="Fig. 5 sweep (%s)" % args.benchmark,
+        )
+    )
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.study import StudySpec, run_study
+
+    if args.template:
+        StudySpec().save(args.template)
+        print("template written to %s" % args.template)
+        return 0
+    spec = StudySpec.load(args.spec) if args.spec else StudySpec()
+    result = run_study(spec)
+    print(result.report())
+    if args.out:
+        result.save(args.out)
+        print("results written to %s" % args.out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gated-cts",
+        description="Gated zero-skew clock routing (Oh & Pedram, DATE 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="route one benchmark")
+    _add_common(p_route)
+    p_route.add_argument(
+        "--sinks", default=None, help="external sink file (see repro.io.sinkfile)"
+    )
+    p_route.add_argument(
+        "--isa", default=None, help="external ISA JSON (see repro.io.tracefile)"
+    )
+    p_route.add_argument(
+        "--trace", default=None, help="external instruction trace file"
+    )
+    p_route.add_argument(
+        "--method",
+        default="reduced",
+        choices=["buffered", "gated", "reduced"],
+        help="routing method",
+    )
+    p_route.add_argument("--knob", type=float, default=0.5, help="reduction knob")
+    p_route.add_argument(
+        "--controllers", type=int, default=1, help="number of controllers (power of 2)"
+    )
+    p_route.add_argument("--out", default=None, help="write the tree as JSON")
+    p_route.add_argument("--svg", default=None, help="write a layout SVG")
+    p_route.set_defaults(func=_cmd_route)
+
+    p_chars = sub.add_parser("characteristics", help="Table 4 rows")
+    _add_common(p_chars)
+    p_chars.set_defaults(func=_cmd_characteristics, benchmark=None)
+
+    p_cmp = sub.add_parser("compare", help="buffered vs gated vs reduced")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--knob", type=float, default=0.5, help="reduction knob")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="gate-reduction sweep")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--points", type=int, default=5, help="sweep points")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_study = sub.add_parser("study", help="run a spec-driven campaign")
+    p_study.add_argument("--spec", default=None, help="study spec JSON")
+    p_study.add_argument(
+        "--template",
+        default=None,
+        help="write a default spec to this path and exit",
+    )
+    p_study.add_argument("--out", default=None, help="write results as JSON")
+    p_study.set_defaults(func=_cmd_study)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

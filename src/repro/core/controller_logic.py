@@ -1,0 +1,138 @@
+"""The gate controller's internal OR logic.
+
+The paper observes that "the control signal of a gate is the OR
+function of the control signals of its descendant gates" and closes
+with the design complexity of the controller logic "currently under
+investigation".  This module models that logic so its cost can be
+studied:
+
+* every *kept* gate needs an enable; the enables form a hierarchy
+  (each gate's nearest gated descendants are its OR inputs; gates with
+  no gated descendants are ORs over their subtree's module-activity
+  lines);
+* the controller realizes the hierarchy with 2-input OR gates -- an
+  n-input OR costs ``n - 1`` of them;
+* each internal OR output toggles exactly like the enable it computes,
+  so its switched capacitance is ``C_or * P_tr(EN)``.
+
+This yields controller gate count, logic area, and internal switched
+capacitance -- the terms the paper's W(S) (wiring-only) leaves out --
+and lets the distributed-controller study report logic duplication
+costs honestly (module-activity lines must be distributed to every
+partition controller, but the OR tree itself partitions cleanly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.activity.isa import mask_to_modules
+from repro.cts.topology import ClockTree
+from repro.tech.parameters import GateModel, Technology
+
+
+@dataclass(frozen=True)
+class EnableTerm:
+    """One enable signal the controller must produce."""
+
+    node_id: int
+    fan_in: int
+    """Number of OR inputs (gated descendants, or module lines)."""
+
+    transition_probability: float
+
+
+@dataclass(frozen=True)
+class ControllerLogic:
+    """Synthesized controller-logic summary."""
+
+    terms: List[EnableTerm]
+    or_gate_count: int
+    area: float
+    switched_cap: float
+    module_lines: int
+    """Distinct module-activity inputs the controller consumes."""
+
+    @property
+    def enable_count(self) -> int:
+        return len(self.terms)
+
+
+def synthesize_controller_logic(
+    tree: ClockTree, tech: Technology, or_gate: GateModel = None
+) -> ControllerLogic:
+    """Build the OR hierarchy for a routed (gated) tree.
+
+    ``or_gate`` models one 2-input OR; defaults to the technology's
+    buffer-sized cell (a reasonable stand-in for a small standard
+    cell).
+    """
+    if or_gate is None:
+        or_gate = tech.buffer
+
+    # For every gated node: its OR inputs are the enables of its
+    # nearest gated descendants; where a subtree below has no gate at
+    # all, the inputs are that subtree's raw module lines.
+    terms: List[EnableTerm] = []
+    used_modules = 0
+
+    def gated_cover(node_id: int) -> List[int]:
+        """Nearest gated descendants below (or at) each child edge."""
+        cover: List[int] = []
+        stack = list(tree.node(node_id).children)
+        while stack:
+            current = stack.pop()
+            node = tree.node(current)
+            if node.has_gate:
+                cover.append(current)
+            elif node.is_sink:
+                cover.append(-(current + 1))  # marker: raw module lines
+            else:
+                stack.extend(node.children)
+        return cover
+
+    for node in tree.gates():
+        if node.is_sink:
+            # A leaf gate's enable is the OR of its module's activity
+            # lines (usually a single wire, no OR gate needed).
+            fan_in = len(mask_to_modules(node.module_mask))
+            used_modules |= node.module_mask
+            terms.append(
+                EnableTerm(
+                    node_id=node.id,
+                    fan_in=max(fan_in, 1),
+                    transition_probability=node.enable_transition_probability,
+                )
+            )
+            continue
+        cover = gated_cover(node.id)
+        fan_in = 0
+        for entry in cover:
+            if entry >= 0:
+                fan_in += 1
+            else:
+                leaf = tree.node(-entry - 1)
+                fan_in += len(mask_to_modules(leaf.module_mask))
+                used_modules |= leaf.module_mask
+        fan_in = max(fan_in, 1)
+        terms.append(
+            EnableTerm(
+                node_id=node.id,
+                fan_in=fan_in,
+                transition_probability=node.enable_transition_probability,
+            )
+        )
+
+    or_gates = sum(max(t.fan_in - 1, 0) for t in terms)
+    switched = sum(
+        or_gate.input_cap * t.transition_probability * max(t.fan_in - 1, 0)
+        for t in terms
+    )
+    return ControllerLogic(
+        terms=terms,
+        or_gate_count=or_gates,
+        area=or_gates * or_gate.area,
+        switched_cap=switched,
+        module_lines=len(mask_to_modules(used_modules)),
+    )

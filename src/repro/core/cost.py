@@ -1,0 +1,119 @@
+"""Minimum-switched-capacitance merge costs.
+
+When subtrees ``v_i`` and ``v_j`` are merged, the switched capacitance
+added to the design per paper Eq. 3 is
+
+* the two new clock edges:  ``(c e_i + C_i) P(EN_i)`` each, scaled by
+  the clock activity factor, and
+* the two new enable wires: ``(c |EN_i| + C_g) P_tr(EN_i)`` each,
+
+with the enable wirelength estimated -- exactly as in the paper -- as
+the distance from the controller point to the *middle of the child's
+merging segment* (the Steiner point's final location is not known
+during the bottom-up phase).
+
+Two cost functions are provided:
+
+``switched_capacitance_cost``
+    The literal Eq. 3.
+``incremental_switched_capacitance_cost``
+    A count-once re-attribution of the same total (see its docstring);
+    it avoids a greedy pathology of the literal form and is the
+    default objective of :func:`repro.core.gated_routing.build_gated_tree`.
+    The cost-term ablation bench compares the two.
+
+Extensions beyond the literal Eq. 3, used only when the corresponding
+feature is active:
+
+* an edge the cell policy left ungated contributes its clock term
+  weighted by the merged node's enable probability (its switching will
+  be governed by the nearest gated ancestor; the merged node is the
+  best bottom-up estimate) and no controller term;
+* a buffered (non-maskable cell) edge contributes with weight 1.
+"""
+
+from __future__ import annotations
+
+from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan
+from repro.cts.topology import ClockNode
+
+
+def _edge_weight(decision: CellDecision, child: ClockNode, plan: MergePlan) -> float:
+    """Switching probability of the new clock edge above ``child``."""
+    if decision.maskable:
+        return child.enable_probability
+    if decision.cell is not None:
+        return 1.0  # buffer: never masked
+    if plan.merged_probability is not None:
+        return plan.merged_probability
+    return 1.0
+
+
+def switched_capacitance_cost(plan: MergePlan, merger: BottomUpMerger) -> float:
+    """Paper Eq. 3: switched capacitance added by this merge."""
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    cp = merger.controller_point
+
+    total = 0.0
+    for child_id, decision, edge_len in (
+        (plan.a_id, plan.decision_a, plan.split.length_a),
+        (plan.b_id, plan.decision_b, plan.split.length_b),
+    ):
+        child = merger.tree.node(child_id)
+        clock_cap = c * edge_len + child.subtree_cap
+        total += a_clk * clock_cap * _edge_weight(decision, child, plan)
+        if decision.maskable:
+            star_len = cp.manhattan_to(child.merging_segment.center())
+            total += (c * star_len + gate_in) * child.enable_transition_probability
+    return total
+
+
+def incremental_switched_capacitance_cost(
+    plan: MergePlan, merger: BottomUpMerger
+) -> float:
+    """Count-once variant of Eq. 3 (the default router objective).
+
+    Summed over a whole construction this equals the final
+    ``W(T) + W(S)`` up to per-sink constants -- exactly like Eq. 3 --
+    but each capacitance is attributed to the merge whose *choice*
+    controls it:
+
+    * the two new edge wires, weighted by their enables,
+    * the new cells' input pins, which hang at the merge node and
+      switch with the merged enable's probability,
+    * the two new enable star edges.
+
+    The difference from the literal Eq. 3 is the child subtree
+    capacitance ``C_i``: it consists of pins committed by the child's
+    *own* creation (where this cost already charged them) and is
+    identical for every candidate partner.  Including it per Eq. 3
+    biases the greedy toward pairs of "cheap" nodes regardless of the
+    wirelength the pairing commits, which inflates the routed tree.
+    """
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    cp = merger.controller_point
+    merged_p = plan.merged_probability if plan.merged_probability is not None else 1.0
+
+    total = 0.0
+    for child_id, decision, edge_len in (
+        (plan.a_id, plan.decision_a, plan.split.length_a),
+        (plan.b_id, plan.decision_b, plan.split.length_b),
+    ):
+        child = merger.tree.node(child_id)
+        total += a_clk * c * edge_len * _edge_weight(decision, child, plan)
+        if decision.cell is not None:
+            pin_weight = merged_p if decision.maskable else 1.0
+            total += a_clk * decision.cell.input_cap * pin_weight
+        if decision.maskable:
+            star_len = cp.manhattan_to(child.merging_segment.center())
+            total += (c * star_len + gate_in) * child.enable_transition_probability
+    return total
+
+
+incremental_switched_capacitance_cost.needs_merged_probability = True

@@ -1,0 +1,197 @@
+"""One-call routing flows with uniform result records.
+
+Everything the paper's evaluation compares -- switched capacitance
+split into clock/controller trees, routing and cell area, skew, phase
+delay, wirelength, gate counts -- is collected into
+:class:`ClockRoutingResult` so benches and examples can treat the
+buffered baseline and the gated variants interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.activity.probability import ActivityOracle
+from repro.core.controller import ControllerLayout, Die, EnableRouting, route_enables
+from repro.core.gated_routing import build_gated_tree
+from repro.core.gate_reduction import (
+    GateReductionPolicy,
+    apply_gate_reduction,
+    reduction_fraction,
+)
+from repro.core.switched_cap import (
+    SwitchedCapBreakdown,
+    clock_tree_switched_cap,
+    masking_efficiency,
+)
+from repro.cts.buffered import build_buffered_tree
+from repro.cts.dme import CellPolicy
+from repro.cts.topology import ClockTree, Sink
+from repro.tech.parameters import Technology
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Layout area in lambda^2, split the way Fig. 3 and Fig. 5 plot it."""
+
+    clock_wire: float
+    controller_wire: float
+    cells: float
+
+    @property
+    def routing(self) -> float:
+        """Wiring area only (clock + controller)."""
+        return self.clock_wire + self.controller_wire
+
+    @property
+    def total(self) -> float:
+        return self.clock_wire + self.controller_wire + self.cells
+
+
+@dataclass(frozen=True)
+class ClockRoutingResult:
+    """Everything measured about one routed clock network."""
+
+    method: str
+    tree: ClockTree
+    routing: Optional[EnableRouting]
+    switched_cap: SwitchedCapBreakdown
+    area: AreaBreakdown
+    skew: float
+    phase_delay: float
+    wirelength: float
+    gate_count: int
+    cell_count: int
+    num_sinks: int
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fraction of gate sites left empty (Fig. 5 x-axis)."""
+        return reduction_fraction(self.gate_count, self.num_sinks)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            "%-10s  W=%.3f pF (clk %.3f + ctrl %.3f)  area=%.3fe6 l^2  "
+            "gates=%d/%d  skew=%.2e"
+            % (
+                self.method,
+                self.switched_cap.total,
+                self.switched_cap.clock_tree,
+                self.switched_cap.controller_tree,
+                self.area.total / 1e6,
+                self.gate_count,
+                2 * self.num_sinks - 2,
+                self.skew,
+            )
+        )
+
+
+def _measure(
+    method: str,
+    tree: ClockTree,
+    tech: Technology,
+    routing: Optional[EnableRouting],
+) -> ClockRoutingResult:
+    controller_cap = routing.switched_cap if routing is not None else 0.0
+    controller_wire = routing.wirelength if routing is not None else 0.0
+    switched = SwitchedCapBreakdown(
+        clock_tree=clock_tree_switched_cap(tree, tech),
+        controller_tree=controller_cap,
+    )
+    area = AreaBreakdown(
+        clock_wire=tech.wire_area(tree.total_wirelength()),
+        controller_wire=tech.wire_area(controller_wire),
+        cells=tree.cell_area(),
+    )
+    return ClockRoutingResult(
+        method=method,
+        tree=tree,
+        routing=routing,
+        switched_cap=switched,
+        area=area,
+        skew=tree.skew(),
+        phase_delay=tree.phase_delay(),
+        wirelength=tree.total_wirelength(),
+        gate_count=tree.gate_count(),
+        cell_count=tree.cell_count(),
+        num_sinks=len(tree.sinks()),
+    )
+
+
+def _die_for(sinks: Sequence[Sink], die: Optional[Die]) -> Die:
+    return die if die is not None else Die.bounding([s.location for s in sinks])
+
+
+def route_buffered(
+    sinks: Sequence[Sink],
+    tech: Technology,
+    die: Optional[Die] = None,
+    candidate_limit: Optional[int] = None,
+    skew_bound: float = 0.0,
+) -> ClockRoutingResult:
+    """The paper's baseline: buffered nearest-neighbour zero-skew tree."""
+    tree = build_buffered_tree(
+        sinks, tech, candidate_limit=candidate_limit, skew_bound=skew_bound
+    )
+    return _measure("buffered", tree, tech, routing=None)
+
+
+def route_gated(
+    sinks: Sequence[Sink],
+    tech: Technology,
+    oracle: ActivityOracle,
+    die: Optional[Die] = None,
+    reduction: Optional[GateReductionPolicy] = None,
+    reduction_mode: str = "merge",
+    cell_policy: Optional[CellPolicy] = None,
+    num_controllers: int = 1,
+    candidate_limit: Optional[int] = None,
+    gate_sizing=None,
+    skew_bound: float = 0.0,
+) -> ClockRoutingResult:
+    """The paper's gated router, with or without gate reduction.
+
+    ``reduction`` selects the section-4.3 policy (``None`` = gate on
+    every edge).  ``reduction_mode`` picks how it is applied:
+    ``"merge"`` (default) decides gates during bottom-up merging, so
+    the topology co-optimizes with the gate count; ``"demote"`` and
+    ``"remove"`` build the fully gated tree first and prune it
+    afterwards -- see :mod:`repro.core.gate_reduction` for the
+    trade-offs.  ``num_controllers`` > 1 activates the distributed
+    controllers of section 6.  ``cell_policy`` overrides ``reduction``
+    when both are given.
+    """
+    if reduction_mode not in ("demote", "remove", "merge"):
+        raise ValueError("reduction_mode must be 'demote', 'remove' or 'merge'")
+    die = _die_for(sinks, die)
+    layout = (
+        ControllerLayout.centralized(die)
+        if num_controllers == 1
+        else ControllerLayout.distributed(die, num_controllers)
+    )
+    policy = cell_policy
+    if policy is None and reduction is not None and reduction_mode == "merge":
+        policy = reduction
+    # "demote"/"remove" build fully gated, then prune below.
+    tree = build_gated_tree(
+        sinks,
+        tech,
+        oracle,
+        controller_point=die.center,
+        cell_policy=policy,
+        candidate_limit=candidate_limit,
+        gate_sizing=gate_sizing,
+        skew_bound=skew_bound,
+    )
+    if reduction is not None and policy is None:
+        apply_gate_reduction(tree, reduction, mode=reduction_mode)
+    routing = route_enables(tree, layout, tech)
+    method = "gated" if reduction is None and cell_policy is None else "gate-red"
+    return _measure(method, tree, tech, routing=routing)
+
+
+def gated_vs_ungated_floor(result: ClockRoutingResult, tech: Technology) -> float:
+    """Fig. 4's floor: gated W(T) as a fraction of the ungated W(T)."""
+    return masking_efficiency(result.tree, tech)

@@ -1,0 +1,313 @@
+"""Gate reduction (paper section 4.3).
+
+Inserting a masking gate on *every* edge maximizes clock-tree masking
+but explodes the star-routed controller tree -- section 5.1 shows the
+fully-gated tree is actually worse than the buffered baseline.  Three
+rules identify edges where a gate buys (almost) nothing:
+
+1. the node's activity is close to 1 (it can never be shut off),
+2. the node's switched capacitance is very small,
+3. the activity of the masking parent is almost the same as the
+   node's activity (the gate above already masks almost as well --
+   "only the parent will have a gate").
+
+Removing too many gates exposes large subtree capacitances and blows
+up the phase delay, so a fourth rule *forces* a gate whenever the
+capacitance the edge would otherwise expose reaches a multiple of the
+gate input capacitance.
+
+Three application modes are provided:
+
+* :func:`apply_gate_reduction` with ``mode="demote"`` -- the
+  recommended **post-pass**: build the fully gated tree, then walk it
+  top-down pruning gates, with rule 3 evaluated against the *nearest
+  kept gate above* (so pruning a parent's gate automatically protects
+  the children's).  A pruned gate becomes an electrically identical
+  always-on buffer, so zero skew is untouched.
+* ``mode="remove"`` -- physical deletion with forced re-insertion and
+  re-embedding (wire snaking re-balances the skew); ablation.
+* :class:`GateReductionPolicy` as a merge-time
+  :class:`~repro.cts.dme.CellPolicy` -- decisions taken during
+  bottom-up merging, using the merged node's activity as the parent
+  estimate.  Cheaper (single pass) but rule 3 can cascade and strip
+  whole gate chains (e.g. every gate of an activity cluster); ablation.
+
+A scalar *knob* in [0, 1] scales all thresholds at once; sweeping it
+regenerates Fig. 5 ("gate reduction % vs switched capacitance/area").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.tech.parameters import GateModel
+
+from repro.cts.dme import CellDecision, CellPolicy
+from repro.cts.reembed import reembed
+from repro.cts.topology import ClockNode, ClockTree
+from repro.tech.parameters import Technology
+
+#: Rule-at-full-knob scales (knob = 1 maps to these extremes).
+_FULL_KNOB_ACTIVITY_THRESHOLD = 0.35
+_FULL_KNOB_PARENT_DELTA = 0.5
+_FULL_KNOB_CAP_UNITS = 3.0
+_BASE_FORCE_CAP_RATIO = 10.0
+_FULL_KNOB_FORCE_CAP_RATIO = 100.0
+
+
+@dataclass(frozen=True)
+class GateReductionPolicy(CellPolicy):
+    """Thresholds for the section-4.3 rules.
+
+    Parameters
+    ----------
+    activity_threshold:
+        Rule 1: drop the gate when ``P(EN) >= activity_threshold``
+        (1.0 effectively disables the rule).
+    switched_cap_threshold:
+        Rule 2: drop the gate when the edge's switched capacitance
+        (pF per cycle, clock activity factor included) is at or below
+        this (0 disables).
+    parent_delta_threshold:
+        Rule 3: drop the gate when
+        ``P(EN_masking_parent) - P(EN) <= parent_delta_threshold``
+        (negative disables; the difference is always >= 0 because an
+        ancestor's enable is the OR of its descendants').
+    force_cap_ratio:
+        Override: always gate when the capacitance the edge would
+        expose reaches ``force_cap_ratio * C_g``; keeps the phase delay
+        from growing without bound.  ``None`` disables the override.
+    """
+
+    activity_threshold: float = 1.0
+    switched_cap_threshold: float = 0.0
+    parent_delta_threshold: float = -1.0
+    force_cap_ratio: Optional[float] = _BASE_FORCE_CAP_RATIO
+
+    needs_merged_probability = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.activity_threshold <= 1.0 + 1e-9:
+            raise ValueError("activity_threshold must lie in [0, 1]")
+        if self.switched_cap_threshold < 0:
+            raise ValueError("switched_cap_threshold must be non-negative")
+        if self.force_cap_ratio is not None and self.force_cap_ratio <= 0:
+            raise ValueError("force_cap_ratio must be positive")
+
+    @staticmethod
+    def from_knob(knob: float, tech: Technology) -> "GateReductionPolicy":
+        """Map a scalar aggressiveness in [0, 1] onto the thresholds.
+
+        knob 0 removes no gates (the fully gated tree); knob 1 removes
+        aggressively.  The mapping is monotone: a larger knob's rules
+        dominate a smaller knob's, so the achieved reduction percentage
+        grows monotonically along the sweep.
+        """
+        if not 0.0 <= knob <= 1.0:
+            raise ValueError("knob must lie in [0, 1]")
+        gate_cap = tech.masking_gate.input_cap
+        force = _BASE_FORCE_CAP_RATIO + knob * (
+            _FULL_KNOB_FORCE_CAP_RATIO - _BASE_FORCE_CAP_RATIO
+        )
+        return GateReductionPolicy(
+            activity_threshold=1.0 - knob * (1.0 - _FULL_KNOB_ACTIVITY_THRESHOLD),
+            switched_cap_threshold=knob * _FULL_KNOB_CAP_UNITS * gate_cap,
+            parent_delta_threshold=knob * _FULL_KNOB_PARENT_DELTA,
+            force_cap_ratio=force,
+        )
+
+    # ------------------------------------------------------------------
+    # the rules
+    # ------------------------------------------------------------------
+    def should_keep(
+        self,
+        enable_probability: float,
+        mask_probability: float,
+        exposed_cap: float,
+        tech: Technology,
+        honor_force: bool = True,
+    ) -> bool:
+        """Apply the rules to one gate site.
+
+        ``mask_probability`` is the activity of whatever would mask the
+        edge if this gate were removed (the nearest kept gate above, or
+        1.0 for the raw clock); ``exposed_cap`` the capacitance the
+        edge presents when ungated (wire plus decoupled subtree).
+        ``honor_force=False`` skips the forced-insertion override (used
+        when pruning cannot expose capacitance, i.e. demote mode).
+        """
+        gate = tech.masking_gate
+        if (
+            honor_force
+            and self.force_cap_ratio is not None
+            and exposed_cap >= self.force_cap_ratio * gate.input_cap
+        ):
+            return True
+        if enable_probability >= self.activity_threshold:
+            return False  # rule 1: never idle
+        edge_switched_cap = (
+            tech.clock_transitions_per_cycle * exposed_cap * enable_probability
+        )
+        if 0.0 < self.switched_cap_threshold >= edge_switched_cap:
+            return False  # rule 2: nothing to save (0 disables the rule)
+        if mask_probability - enable_probability <= self.parent_delta_threshold:
+            return False  # rule 3: the gate above masks as well
+        return True
+
+    # ------------------------------------------------------------------
+    # CellPolicy interface (merge-time mode, kept as an ablation)
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        child: ClockNode,
+        merged_probability: Optional[float],
+        distance: float,
+        tech: Technology,
+    ) -> CellDecision:
+        # The final edge length is not known before the zero-skew
+        # split; half the merging distance is the unbiased estimate.
+        exposed_cap = tech.wire_cap(distance / 2.0) + child.subtree_cap
+        mask = merged_probability if merged_probability is not None else 1.0
+        if self.should_keep(child.enable_probability, mask, exposed_cap, tech):
+            return CellDecision(cell=tech.masking_gate, maskable=True)
+        return CellDecision(cell=None)
+
+
+def apply_gate_reduction(
+    tree: ClockTree, policy: GateReductionPolicy, mode: str = "demote"
+) -> int:
+    """Prune gates from a fully (or partially) gated tree, in place.
+
+    Top-down pass: every gated edge is tested with
+    :meth:`GateReductionPolicy.should_keep` against the activity of the
+    nearest gate kept *above* it -- so pruning a parent's gate
+    automatically protects its descendants' gates from rule 3, which a
+    merge-time decision cannot guarantee.
+
+    Modes
+    -----
+    ``"demote"`` (default)
+        A pruned gate is swapped for an *electrically identical*
+        always-on buffer (its enable tied high): same input cap, drive
+        and delay, half the cell area.  The tree's embedding -- hence
+        its exact zero skew -- is untouched; only the enable star edge
+        and the masking disappear.  The forced-insertion rule is moot
+        (nothing gets exposed) so the sweep reaches 100% reduction.
+    ``"remove"``
+        The gate is physically deleted.  Subtree capacitances are
+        exposed upstream, so the force rule re-inserts gates bottom-up
+        and the tree is re-embedded (with wire snaking re-balancing
+        the now-asymmetric siblings).  Kept for the ablation bench;
+        snaking makes it markedly worse on large benchmarks.
+
+    Returns the number of gates pruned (net of forced re-insertions).
+    """
+    if mode not in ("demote", "remove"):
+        raise ValueError("mode must be 'demote' or 'remove'")
+    tech = tree.tech
+    removed = 0
+
+    # -- top-down pruning against the nearest kept gate -----------------
+    mask_prob: Dict[int, float] = {tree.root_id: 1.0}
+    for node in tree.preorder():
+        if node.id == tree.root_id:
+            continue
+        above = mask_prob[node.parent]
+        if node.has_gate:
+            exposed = tech.wire_cap(node.edge_length) + node.subtree_cap
+            # Demoting never exposes capacitance upstream, so the
+            # forced-insertion override only applies to removal.
+            keep = policy.should_keep(
+                node.enable_probability,
+                above,
+                exposed,
+                tech,
+                honor_force=(mode == "remove"),
+            )
+            if keep:
+                mask_prob[node.id] = node.enable_probability
+            else:
+                if mode == "demote":
+                    node.edge_cell = _demoted(node.edge_cell, tech)
+                else:
+                    node.edge_cell = None
+                node.edge_maskable = False
+                removed += 1
+                mask_prob[node.id] = above
+        else:
+            mask_prob[node.id] = above
+
+    if mode == "demote":
+        return removed
+
+    # -- bottom-up repair: honor the forced-insertion rule -------------
+    if policy.force_cap_ratio is not None:
+        limit = policy.force_cap_ratio * tech.masking_gate.input_cap
+        changed = True
+        while changed:
+            changed = False
+            exposed_below: Dict[int, float] = {}
+            for node_id in _postorder(tree):
+                node = tree.node(node_id)
+                if node.is_sink:
+                    below = node.sink.load_cap
+                else:
+                    below = 0.0
+                    for child_id in node.children:
+                        child = tree.node(child_id)
+                        if child.edge_cell is not None:
+                            below += child.edge_cell.input_cap
+                        else:
+                            below += (
+                                tech.wire_cap(child.edge_length)
+                                + exposed_below[child_id]
+                            )
+                exposed_below[node_id] = below
+                if node.id == tree.root_id or node.edge_cell is not None:
+                    continue
+                if tech.wire_cap(node.edge_length) + below >= limit:
+                    node.edge_cell = tech.masking_gate
+                    node.edge_maskable = True
+                    removed -= 1
+                    changed = True
+
+    reembed(tree)
+    return removed
+
+
+def _demoted(gate: GateModel, tech: Technology) -> GateModel:
+    """The always-on buffer a pruned gate is swapped for.
+
+    Electrically identical to the gate (so skew is untouched); the cell
+    area drops to the baseline buffer's, modelling the layout swap of a
+    tied-high AND gate for an equivalent buffer.
+    """
+    return replace(gate, area=tech.buffer.area)
+
+
+def _postorder(tree: ClockTree) -> List[int]:
+    order: List[int] = []
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        order.append(node.id)
+        stack.extend(node.children)
+    order.reverse()
+    return order
+
+
+def reduction_fraction(num_gates: int, num_sinks: int) -> float:
+    """Fraction of gate sites left empty (the x-axis of Fig. 5).
+
+    A fully gated tree over ``N`` sinks has a gate on every edge:
+    ``2N - 2`` gates.
+    """
+    if num_sinks < 1:
+        raise ValueError("need at least one sink")
+    sites = 2 * num_sinks - 2
+    if sites == 0:
+        return 0.0
+    if not 0 <= num_gates <= sites:
+        raise ValueError("gate count outside [0, %d]" % sites)
+    return 1.0 - num_gates / sites

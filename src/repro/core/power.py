@@ -1,0 +1,80 @@
+"""Switched capacitance to dynamic power (paper Eq. 1).
+
+The layout algorithms work in switched capacitance because ``V_dd``
+and ``f`` are fixed during layout synthesis; this module applies
+``P = W * f * V_dd^2`` at the end, so results can be reported in mW
+for a concrete operating point.
+
+Convention: the switched-capacitance figures produced by
+:mod:`repro.core.switched_cap` and :mod:`repro.core.controller`
+already include each net's activity factor (the clock's two
+transitions per cycle, the enables' measured transition
+probabilities), so the conversion is ``P = W * f * Vdd^2 / 2`` with
+the 1/2 accounting for energy drawn on charging transitions only --
+Eq. 1 of the paper with its alpha folded into W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.flow import ClockRoutingResult
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Clock frequency and supply voltage."""
+
+    frequency_hz: float
+    vdd: float
+
+    def __post_init__(self):
+        if self.frequency_hz <= 0 or self.vdd <= 0:
+            raise ValueError("frequency and Vdd must be positive")
+
+
+#: A representative late-90s operating point: 200 MHz at 3.3 V.
+DATE98_OPERATING_POINT = OperatingPoint(frequency_hz=200e6, vdd=3.3)
+
+
+def switched_cap_to_watts(
+    switched_cap_pf: float, point: OperatingPoint = DATE98_OPERATING_POINT
+) -> float:
+    """Dynamic power in watts for a per-cycle switched capacitance.
+
+    ``switched_cap_pf`` is in pF switched per clock cycle (the unit all
+    accounting in this library uses); the result is
+    ``W * f * Vdd^2 / 2`` with the 1/2 from charging *or* discharging
+    per counted transition.
+    """
+    if switched_cap_pf < 0:
+        raise ValueError("switched capacitance must be non-negative")
+    return switched_cap_pf * 1e-12 * point.frequency_hz * point.vdd**2 / 2.0
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Dynamic power of one routed clock network, watts."""
+
+    clock_tree: float
+    controller_tree: float
+
+    @property
+    def total(self) -> float:
+        return self.clock_tree + self.controller_tree
+
+    @property
+    def total_milliwatts(self) -> float:
+        return self.total * 1e3
+
+
+def power_report(
+    result: ClockRoutingResult, point: OperatingPoint = DATE98_OPERATING_POINT
+) -> PowerReport:
+    """Convert a routing result's switched capacitance to power."""
+    return PowerReport(
+        clock_tree=switched_cap_to_watts(result.switched_cap.clock_tree, point),
+        controller_tree=switched_cap_to_watts(
+            result.switched_cap.controller_tree, point
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Clock-tree synthesis substrate.
+
+This package contains everything a *conventional* zero-skew clock
+router needs -- and on top of which the paper's gated router
+(:mod:`repro.core`) is built:
+
+* :mod:`repro.cts.topology` -- sinks, tree nodes, the embedded clock
+  tree container;
+* :mod:`repro.cts.merge` -- Tsay-style exact zero-skew merging,
+  generalized to edges that carry decoupling cells (buffers or masking
+  gates), including wire snaking;
+* :mod:`repro.cts.bounded` -- the bounded-skew generalization (delay
+  intervals, partial snaking) with zero skew as the ``bound=0`` case;
+* :mod:`repro.cts.reembed` -- fixed-topology re-embedding after tree
+  edits (e.g. physical gate removal);
+* :mod:`repro.cts.dme` -- the deferred-merge embedding engine: a
+  generic greedy bottom-up merger with a pluggable pair cost and cell
+  policy, followed by top-down placement of merging segments;
+* :mod:`repro.cts.nearest_neighbor` -- the nearest-neighbour pair cost
+  (Edahiro-style), used by the baseline;
+* :mod:`repro.cts.buffered` -- the buffered zero-skew clock tree the
+  paper compares against.
+"""
+
+from repro.cts.topology import ClockNode, ClockTree, Sink
+from repro.cts.merge import SkewBalanceError, SplitResult, Tap, zero_skew_split
+from repro.cts.bounded import SkewBoundError, bounded_skew_split
+from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan
+from repro.cts.buffered import build_buffered_tree
+from repro.cts.reembed import reembed
+
+__all__ = [
+    "ClockNode",
+    "ClockTree",
+    "Sink",
+    "SkewBalanceError",
+    "SkewBoundError",
+    "SplitResult",
+    "Tap",
+    "zero_skew_split",
+    "bounded_skew_split",
+    "BottomUpMerger",
+    "CellDecision",
+    "MergePlan",
+    "build_buffered_tree",
+    "reembed",
+]

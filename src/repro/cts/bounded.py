@@ -1,0 +1,149 @@
+"""Bounded-skew merging: zero skew generalized to a skew budget.
+
+The paper builds exact zero-skew trees; most practical flows allow a
+small skew bound and bank the wirelength savings.  This module extends
+the merge arithmetic: every subtree carries a *delay interval*
+``[lo, hi]`` (the spread of its sink delays), and a merge must keep
+the merged interval's width within the bound.  The mechanics:
+
+* splitting the merging distance ``x + (L - x) = L`` costs the same
+  wire for any ``x``, so the split aims at the interval-center balance
+  point (the zero-skew formula applied to interval midpoints), clamped
+  to ``[0, L]``;
+* if the clamped split already satisfies the bound -- the win over
+  zero skew -- no detour wire is added;
+* otherwise the fast side is snaked only far enough to close the gap
+  to the bound, not to exact equality.
+
+Feasibility is inductive: a merge of two subtrees with widths within
+the bound always yields a width within the bound (aligning centers
+gives width ``max(w_a, w_b)``), so the only failure mode is a caller
+passing a subtree that already violates the budget.
+
+``bound = 0`` reduces exactly to :func:`repro.cts.merge.zero_skew_split`
+(a property the tests check).
+"""
+
+from __future__ import annotations
+
+from repro.cts.merge import SplitResult, Tap, zero_skew_split
+from repro.tech.parameters import Technology
+
+_EPS = 1e-12
+
+
+class SkewBoundError(ValueError):
+    """A subtree wider than the skew budget was passed to a merge."""
+
+
+def _edge_increment(tap: Tap, length: float, tech: Technology) -> float:
+    """Delay added by the edge (cell + wire), excluding the subtree."""
+    return Tap(cap=tap.cap, delay=0.0, cell=tap.cell).edge_delay(length, tech)
+
+
+def _center_balance_point(
+    length: float, tap_a: Tap, tap_b: Tap, lo_a: float, lo_b: float, tech: Technology
+) -> float:
+    """Unclamped zero-skew point for the interval midpoints."""
+    mid_a = Tap(cap=tap_a.cap, delay=(lo_a + tap_a.delay) / 2.0, cell=tap_a.cell)
+    mid_b = Tap(cap=tap_b.cap, delay=(lo_b + tap_b.delay) / 2.0, cell=tap_b.cell)
+    r = tech.unit_wire_resistance
+    c = tech.unit_wire_capacitance
+    den = (
+        c * (mid_a.drive_resistance + mid_b.drive_resistance)
+        + r * (mid_a.cap + mid_b.cap)
+        + r * c * length
+    )
+    skew_at_zero = mid_b.unloaded_delay() - mid_a.unloaded_delay()
+    if den <= _EPS:
+        if abs(skew_at_zero) <= 1e-12:
+            return length / 2.0
+        return length + 1.0 if skew_at_zero > 0 else -1.0
+    num = (
+        length * (mid_b.drive_resistance * c + r * mid_b.cap)
+        + r * c * length * length / 2.0
+        + skew_at_zero
+    )
+    return num / den
+
+
+def _snake_to_gap(fast: Tap, fast_lo: float, target_lo: float, tech: Technology) -> float:
+    """Wirelength raising the fast side's *low* edge to ``target_lo``."""
+    from repro.cts.merge import _snake_length
+
+    return _snake_length(Tap(cap=fast.cap, delay=fast_lo, cell=fast.cell), target_lo, tech)
+
+
+def bounded_skew_split(
+    length: float,
+    tap_a: Tap,
+    lo_a: float,
+    tap_b: Tap,
+    lo_b: float,
+    bound: float,
+    tech: Technology,
+) -> SplitResult:
+    """Split a merge so the merged delay interval stays within ``bound``.
+
+    ``tap_x.delay`` is the subtree's *latest* sink delay (``hi``);
+    ``lo_x`` its earliest.  Returns a :class:`SplitResult` whose
+    ``delay`` / ``delay_min`` carry the merged interval.
+    """
+    if bound < 0:
+        raise ValueError("skew bound must be non-negative")
+    if length < 0:
+        raise ValueError("merging distance must be non-negative")
+    if bound == 0:
+        return zero_skew_split(length, tap_a, tap_b, tech)
+    if tap_a.delay - lo_a > bound + 1e-9 or tap_b.delay - lo_b > bound + 1e-9:
+        raise SkewBoundError("subtree delay spread already exceeds the bound")
+
+    def interval(e_a: float, e_b: float):
+        da = _edge_increment(tap_a, e_a, tech)
+        db = _edge_increment(tap_b, e_b, tech)
+        lo = min(lo_a + da, lo_b + db)
+        hi = max(tap_a.delay + da, tap_b.delay + db)
+        return lo, hi
+
+    x = min(max(_center_balance_point(length, tap_a, tap_b, lo_a, lo_b, tech), 0.0), length)
+    lo, hi = interval(x, length - x)
+    if hi - lo <= bound * (1 + 1e-12) + 1e-12:
+        return SplitResult(
+            length_a=x,
+            length_b=length - x,
+            delay=hi,
+            presented_a=tap_a.presented_cap(x, tech),
+            presented_b=tap_b.presented_cap(length - x, tech),
+            snaked=None,
+            delay_min=lo,
+        )
+
+    # The clamped split is out of budget: one side is too fast even at
+    # the boundary.  Identify it by comparing the intervals at the
+    # clamped split (robust also for zero-distance merges) and snake it
+    # just far enough that the gap equals the bound.
+    hi_a_clamped = tap_a.delay + _edge_increment(tap_a, x, tech)
+    hi_b_clamped = tap_b.delay + _edge_increment(tap_b, length - x, tech)
+    if hi_a_clamped < hi_b_clamped:
+        # a is the fast side: give b no wire, snake a.
+        db = _edge_increment(tap_b, 0.0, tech)
+        target = (tap_b.delay + db) - bound
+        e_a = max(_snake_to_gap(tap_a, lo_a, target, tech), length)
+        e_b = 0.0
+        snaked = "a"
+    else:
+        da = _edge_increment(tap_a, 0.0, tech)
+        target = (tap_a.delay + da) - bound
+        e_b = max(_snake_to_gap(tap_b, lo_b, target, tech), length)
+        e_a = 0.0
+        snaked = "b"
+    lo, hi = interval(e_a, e_b)
+    return SplitResult(
+        length_a=e_a,
+        length_b=e_b,
+        delay=hi,
+        presented_a=tap_a.presented_cap(e_a, tech),
+        presented_b=tap_b.presented_cap(e_b, tech),
+        snaked=snaked,
+        delay_min=lo,
+    )

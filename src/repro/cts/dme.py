@@ -1,0 +1,412 @@
+"""Deferred-merge embedding with a pluggable greedy objective.
+
+The engine implements the construction shared by the paper's router and
+the baselines:
+
+1. **Bottom-up merging** (paper Fig. 2): every subtree root carries a
+   merging segment (Manhattan arc).  A greedy loop repeatedly merges
+   the pair of active subtrees with minimum *cost*; the cost function
+   is a parameter -- geometric distance gives the nearest-neighbour
+   baseline, the paper's Eq. 3 gives the min-switched-capacitance
+   router.  Each merge performs an exact zero-skew split (with cells
+   decided by a pluggable *cell policy*) and computes the new merging
+   segment.
+2. **Top-down placement**: the root is embedded at the center of its
+   merging segment, every child at the point of its own segment
+   nearest to its parent's placement.
+
+The greedy pair selection keeps, per active subtree, its current best
+partner; a lazy min-heap orders the candidates.  This gives the exact
+greedy (same result as scanning all pairs each round) in roughly
+O(N^2) cost evaluations.  An optional ``candidate_limit`` restricts
+each node's candidates to its k geometrically nearest neighbours --
+the speed/quality trade-off explored in the ablation bench.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.activity.probability import ActivityOracle
+from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
+from repro.cts.topology import ClockNode, ClockTree, Sink
+from repro.geometry.point import Point
+from repro.tech.parameters import GateModel, Technology
+
+
+@dataclass(frozen=True)
+class CellDecision:
+    """What to put at the top of a new edge."""
+
+    cell: Optional[GateModel]
+    maskable: bool = False
+
+    def __post_init__(self):
+        if self.maskable and self.cell is None:
+            raise ValueError("a maskable edge needs a gate cell")
+
+
+class CellPolicy:
+    """Decides the cell on each new edge during bottom-up merging."""
+
+    needs_merged_probability = False
+    """Set True when :meth:`decide` uses the merged node's P(EN)."""
+
+    def decide(
+        self,
+        child: ClockNode,
+        merged_probability: Optional[float],
+        distance: float,
+        tech: Technology,
+    ) -> CellDecision:
+        raise NotImplementedError
+
+
+class NoCellPolicy(CellPolicy):
+    """Plain wires everywhere (unbuffered Tsay/DME tree)."""
+
+    def decide(self, child, merged_probability, distance, tech) -> CellDecision:
+        return CellDecision(cell=None)
+
+
+class BufferEveryEdgePolicy(CellPolicy):
+    """The baseline's buffer on every edge (never maskable)."""
+
+    def decide(self, child, merged_probability, distance, tech) -> CellDecision:
+        return CellDecision(cell=tech.buffer, maskable=False)
+
+
+class GateEveryEdgePolicy(CellPolicy):
+    """The paper's default: a masking gate on every edge."""
+
+    def decide(self, child, merged_probability, distance, tech) -> CellDecision:
+        return CellDecision(cell=tech.masking_gate, maskable=True)
+
+
+@dataclass
+class MergePlan:
+    """Everything known about a candidate merge before committing it."""
+
+    a_id: int
+    b_id: int
+    distance: float
+    decision_a: CellDecision
+    decision_b: CellDecision
+    split: SplitResult
+    merged_mask: int
+    merged_probability: Optional[float]
+
+
+PairCost = Callable[["MergePlan", "BottomUpMerger"], float]
+
+logger = logging.getLogger(__name__)
+
+
+def nearest_neighbor_cost(plan: MergePlan, merger: "BottomUpMerger") -> float:
+    """Geometric distance between merging segments (Edahiro-style)."""
+    return plan.distance
+
+
+class BottomUpMerger:
+    """Greedy bottom-up zero-skew merger with top-down embedding.
+
+    Parameters
+    ----------
+    sinks:
+        The clock sinks (at least one).
+    tech:
+        Technology constants.
+    cost:
+        Pair cost; the next merge is always a currently cheapest pair.
+    cell_policy:
+        Decides buffers/gates on new edges.
+    oracle:
+        Activity oracle; when given, every node is annotated with
+        ``P(EN)`` / ``P_tr(EN)`` of its module set.  Without it all
+        nodes behave as always-on (baseline trees).
+    controller_point:
+        Location of the gate controller, for costs that include
+        controller-wiring terms.  Defaults to the sink bounding-box
+        center (the paper's "center of the chip").
+    candidate_limit:
+        Optional k-nearest-neighbour candidate restriction.
+    cell_sizer:
+        Optional sizing hook (e.g.
+        :class:`repro.core.gate_sizing.GateSizingPolicy`): given a
+        merge whose unit-size split snakes, it may resize the new
+        edges' cells to balance the delays with less wire.
+    """
+
+    def __init__(
+        self,
+        sinks: Sequence[Sink],
+        tech: Technology,
+        cost: PairCost = nearest_neighbor_cost,
+        cell_policy: Optional[CellPolicy] = None,
+        oracle: Optional[ActivityOracle] = None,
+        controller_point: Optional[Point] = None,
+        candidate_limit: Optional[int] = None,
+        cell_sizer=None,
+        skew_bound: float = 0.0,
+    ):
+        if not sinks:
+            raise ValueError("at least one sink is required")
+        if candidate_limit is not None and candidate_limit < 1:
+            raise ValueError("candidate_limit must be positive")
+        if skew_bound < 0:
+            raise ValueError("skew_bound must be non-negative")
+        self.tech = tech
+        self.cost = cost
+        self.cell_policy = cell_policy or NoCellPolicy()
+        self.oracle = oracle
+        self.candidate_limit = candidate_limit
+        self.cell_sizer = cell_sizer
+        self.skew_bound = skew_bound
+        self._needs_merged_probability = bool(
+            self.cell_policy.needs_merged_probability
+            or getattr(cost, "needs_merged_probability", False)
+        )
+        self.tree = ClockTree(tech)
+        for sink in sinks:
+            node = self.tree.add_leaf(sink)
+            if oracle is not None:
+                stats = oracle.statistics(node.module_mask)
+                node.enable_probability = stats.signal_probability
+                node.enable_transition_probability = stats.transition_probability
+        if controller_point is None:
+            xs = [s.location.x for s in sinks]
+            ys = [s.location.y for s in sinks]
+            controller_point = Point(
+                (min(xs) + max(xs)) / 2.0, (min(ys) + max(ys)) / 2.0
+            )
+        self.controller_point = controller_point
+        self._active: Set[int] = set(range(len(sinks)))
+        self._best: Dict[int, Tuple[float, int]] = {}
+        self._reverse: Dict[int, Set[int]] = {}
+        self._heap: List[Tuple[float, int]] = []
+        self.merge_trace: List[Tuple[int, int, int]] = []
+        """(left, right, merged) triples, in merge order -- for tests."""
+
+    # ------------------------------------------------------------------
+    # planning and executing a single merge
+    # ------------------------------------------------------------------
+    def plan(self, a_id: int, b_id: int) -> MergePlan:
+        """Evaluate the merge of two active subtrees without committing."""
+        na, nb = self.tree.node(a_id), self.tree.node(b_id)
+        distance = na.merging_segment.distance_to(nb.merging_segment)
+        merged_mask = na.module_mask | nb.module_mask
+        merged_probability = None
+        if self._needs_merged_probability and self.oracle is not None:
+            merged_probability = self.oracle.signal_probability(merged_mask)
+        decision_a = self.cell_policy.decide(na, merged_probability, distance, self.tech)
+        decision_b = self.cell_policy.decide(nb, merged_probability, distance, self.tech)
+        if self.skew_bound > 0:
+            from repro.cts.bounded import bounded_skew_split
+
+            split = bounded_skew_split(
+                distance,
+                Tap(cap=na.subtree_cap, delay=na.sink_delay, cell=decision_a.cell),
+                na.sink_delay_min,
+                Tap(cap=nb.subtree_cap, delay=nb.sink_delay, cell=decision_b.cell),
+                nb.sink_delay_min,
+                self.skew_bound,
+                self.tech,
+            )
+        else:
+            split = zero_skew_split(
+                distance,
+                Tap(cap=na.subtree_cap, delay=na.sink_delay, cell=decision_a.cell),
+                Tap(cap=nb.subtree_cap, delay=nb.sink_delay, cell=decision_b.cell),
+                self.tech,
+            )
+        # Sizing re-balances to exact zero skew, which is always within
+        # any bound; it only engages when the split had to snake.
+        if self.cell_sizer is not None and split.snaked is not None:
+            decision_a, decision_b, split = self.cell_sizer.resolve(
+                distance,
+                na.subtree_cap,
+                na.sink_delay,
+                decision_a,
+                nb.subtree_cap,
+                nb.sink_delay,
+                decision_b,
+                self.tech,
+                split,
+            )
+        return MergePlan(
+            a_id=a_id,
+            b_id=b_id,
+            distance=distance,
+            decision_a=decision_a,
+            decision_b=decision_b,
+            split=split,
+            merged_mask=merged_mask,
+            merged_probability=merged_probability,
+        )
+
+    def execute(self, plan: MergePlan) -> ClockNode:
+        """Commit a planned merge: create the internal node."""
+        na, nb = self.tree.node(plan.a_id), self.tree.node(plan.b_id)
+        region = merge_regions(na.merging_segment, nb.merging_segment, plan.split)
+        merged = self.tree.add_internal(plan.a_id, plan.b_id, region)
+
+        na.edge_length = plan.split.length_a
+        na.edge_cell = plan.decision_a.cell
+        na.edge_maskable = plan.decision_a.maskable
+        na.snaked = plan.split.snaked == "a"
+        nb.edge_length = plan.split.length_b
+        nb.edge_cell = plan.decision_b.cell
+        nb.edge_maskable = plan.decision_b.maskable
+        nb.snaked = plan.split.snaked == "b"
+
+        merged.module_mask = plan.merged_mask
+        merged.subtree_cap = plan.split.merged_cap
+        merged.sink_delay = plan.split.delay
+        merged.sink_delay_min = plan.split.earliest_delay
+        if self.oracle is not None:
+            stats = self.oracle.statistics(plan.merged_mask)
+            merged.enable_probability = stats.signal_probability
+            merged.enable_transition_probability = stats.transition_probability
+        self.merge_trace.append((plan.a_id, plan.b_id, merged.id))
+        return merged
+
+    # ------------------------------------------------------------------
+    # greedy pair selection
+    # ------------------------------------------------------------------
+    def _pair_cost(self, a_id: int, b_id: int) -> float:
+        return self.cost(self.plan(a_id, b_id), self)
+
+    def _candidates_for(self, nid: int) -> List[int]:
+        others = [o for o in self._active if o != nid]
+        limit = self.candidate_limit
+        if limit is None or len(others) <= limit:
+            return others
+        ms = self.tree.node(nid).merging_segment
+        others.sort(key=lambda o: (ms.distance_to(self.tree.node(o).merging_segment), o))
+        return others[:limit]
+
+    def _set_best(self, nid: int, cost: float, partner: int) -> None:
+        old = self._best.get(nid)
+        if old is not None:
+            self._reverse.get(old[1], set()).discard(nid)
+        self._best[nid] = (cost, partner)
+        self._reverse.setdefault(partner, set()).add(nid)
+        heapq.heappush(self._heap, (cost, nid))
+
+    def _recompute_best(self, nid: int) -> None:
+        best_cost, best_partner = None, None
+        for other in self._candidates_for(nid):
+            cost = self._pair_cost(nid, other)
+            if best_cost is None or (cost, other) < (best_cost, best_partner):
+                best_cost, best_partner = cost, other
+        if best_partner is None:
+            self._best.pop(nid, None)
+            return
+        self._set_best(nid, best_cost, best_partner)
+
+    def _initialize_best(self) -> None:
+        if self.candidate_limit is not None:
+            for nid in self._active:
+                self._recompute_best(nid)
+            return
+        ids = sorted(self._active)
+        best: Dict[int, Tuple[float, int]] = {}
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                cost = self._pair_cost(a, b)
+                if a not in best or (cost, b) < best[a]:
+                    best[a] = (cost, b)
+                if b not in best or (cost, a) < best[b]:
+                    best[b] = (cost, a)
+        for nid, (cost, partner) in best.items():
+            self._set_best(nid, cost, partner)
+
+    def _pop_valid_pair(self) -> Tuple[int, int]:
+        while self._heap:
+            cost, nid = heapq.heappop(self._heap)
+            if nid not in self._active:
+                continue
+            current = self._best.get(nid)
+            if current is None or current[0] != cost:
+                continue  # stale heap entry
+            partner = current[1]
+            if partner not in self._active:
+                self._recompute_best(nid)
+                continue
+            return nid, partner
+        raise RuntimeError("no mergeable pair left (internal error)")
+
+    def _retire(self, nid: int) -> Set[int]:
+        """Deactivate a node; return nodes that pointed at it."""
+        self._active.discard(nid)
+        self._best.pop(nid, None)
+        return self._reverse.pop(nid, set())
+
+    def _introduce(self, merged_id: int) -> None:
+        """Register a new subtree and refresh neighbours' best pairs."""
+        best_cost, best_partner = None, None
+        for other in self._candidates_for(merged_id):
+            cost = self._pair_cost(merged_id, other)
+            if best_cost is None or (cost, other) < (best_cost, best_partner):
+                best_cost, best_partner = cost, other
+            current = self._best.get(other)
+            if current is None or (cost, merged_id) < current:
+                self._set_best(other, cost, merged_id)
+        self._active.add(merged_id)
+        if best_partner is not None:
+            self._set_best(merged_id, best_cost, best_partner)
+
+    # ------------------------------------------------------------------
+    # the full flow
+    # ------------------------------------------------------------------
+    def run(self) -> ClockTree:
+        """Build the tree: greedy bottom-up merge, then top-down embed."""
+        num_sinks = len(self._active)
+        logger.debug(
+            "merging %d sinks (cost=%s, policy=%s, candidate_limit=%s, "
+            "skew_bound=%g)",
+            num_sinks,
+            getattr(self.cost, "__name__", type(self.cost).__name__),
+            type(self.cell_policy).__name__,
+            self.candidate_limit,
+            self.skew_bound,
+        )
+        if num_sinks == 1:
+            (only,) = self._active
+            self.tree.set_root(only)
+            self._place()
+            return self.tree
+        self._initialize_best()
+        while len(self._active) > 1:
+            a_id, b_id = self._pop_valid_pair()
+            plan = self.plan(a_id, b_id)
+            merged = self.execute(plan)
+            orphans = (self._retire(a_id) | self._retire(b_id)) & self._active
+            self._introduce(merged.id)
+            for orphan in orphans:
+                current = self._best.get(orphan)
+                if current is None or current[1] not in self._active:
+                    self._recompute_best(orphan)
+        (root,) = self._active
+        self.tree.set_root(root)
+        self._place()
+        logger.debug(
+            "tree built: wirelength %.4g, %d gates, root delay %.4g",
+            self.tree.total_wirelength(),
+            self.tree.gate_count(),
+            self.tree.root.sink_delay,
+        )
+        return self.tree
+
+    def _place(self) -> None:
+        """Top-down embedding of merging segments into points."""
+        root = self.tree.root
+        root.location = root.merging_segment.center()
+        for node in self.tree.preorder():
+            for child_id in node.children:
+                child = self.tree.node(child_id)
+                child.location = child.merging_segment.nearest_point_to(node.location)
+        self.tree.validate_embedding()

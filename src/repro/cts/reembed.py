@@ -1,0 +1,70 @@
+"""Re-embedding a clock tree after edits (fixed topology DME).
+
+Gate reduction removes cells from a finished tree; that changes every
+subtree's presented capacitance and delay, so the original edge
+lengths no longer balance.  ``reembed`` reruns the deferred-merge
+embedding along the *existing* topology with the *current* cell
+assignment: a bottom-up pass recomputes merging segments and zero-skew
+splits (with wire snaking where cells made siblings unbalanced), and a
+top-down pass re-places every node.  The result is again an exactly
+zero-skew tree.
+
+Running ``reembed`` on an untouched tree is a no-op up to
+floating-point noise -- a property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cts.merge import Tap, merge_regions, zero_skew_split
+from repro.cts.topology import ClockTree
+from repro.geometry.trr import Trr
+
+
+def _postorder_ids(tree: ClockTree) -> List[int]:
+    order: List[int] = []
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        order.append(node.id)
+        stack.extend(node.children)
+    order.reverse()
+    return order
+
+
+def reembed(tree: ClockTree) -> None:
+    """Recompute the embedding in place for the tree's current cells."""
+    tech = tree.tech
+    for node_id in _postorder_ids(tree):
+        node = tree.node(node_id)
+        if node.is_sink:
+            node.merging_segment = Trr.from_point(node.sink.location)
+            node.subtree_cap = node.sink.load_cap
+            node.sink_delay = 0.0
+            continue
+        left, right = (tree.node(c) for c in node.children)
+        distance = left.merging_segment.distance_to(right.merging_segment)
+        split = zero_skew_split(
+            distance,
+            Tap(cap=left.subtree_cap, delay=left.sink_delay, cell=left.edge_cell),
+            Tap(cap=right.subtree_cap, delay=right.sink_delay, cell=right.edge_cell),
+            tech,
+        )
+        left.edge_length = split.length_a
+        left.snaked = split.snaked == "a"
+        right.edge_length = split.length_b
+        right.snaked = split.snaked == "b"
+        node.merging_segment = merge_regions(
+            left.merging_segment, right.merging_segment, split
+        )
+        node.subtree_cap = split.merged_cap
+        node.sink_delay = split.delay
+
+    root = tree.root
+    root.location = root.merging_segment.center()
+    for node in tree.preorder():
+        for child_id in node.children:
+            child = tree.node(child_id)
+            child.location = child.merging_segment.nearest_point_to(node.location)
+    tree.validate_embedding()

@@ -1,0 +1,121 @@
+"""Physical route geometry for tree edges.
+
+The router records each edge's *electrical* length, which can exceed
+the Manhattan distance of its endpoint placements when the wire was
+snaked for delay balancing.  This module expands every edge into an
+explicit rectilinear polyline whose length equals the electrical
+length: an L-shaped trunk plus, when needed, a square-wave serpentine
+inserted on the longer leg.  The SVG renderer uses it so pictures show
+the actual wiring, and the tests use total polyline length as yet
+another independent check of the wirelength bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cts.topology import ClockNode, ClockTree
+from repro.geometry.point import Point
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class EdgeRoute:
+    """One edge's rectilinear polyline, parent end first."""
+
+    node_id: int
+    points: List[Point]
+    snaked: bool
+
+    @property
+    def length(self) -> float:
+        return sum(
+            a.manhattan_to(b) for a, b in zip(self.points, self.points[1:])
+        )
+
+    def is_rectilinear(self, tol: float = 1e-9) -> bool:
+        return all(
+            abs(a.x - b.x) <= tol or abs(a.y - b.y) <= tol
+            for a, b in zip(self.points, self.points[1:])
+        )
+
+
+def _serpentine(a: Point, b: Point, extra: float, amplitude: float) -> List[Point]:
+    """A horizontal run from ``a`` to ``b`` lengthened by ``extra``.
+
+    Comb-shaped detours (up ``depth``, back down at the same x) are
+    inserted along the run; each full comb adds ``2 * amplitude`` of
+    wire and the leftover is absorbed by one shallower comb, so the
+    polyline length is exactly ``|b - a| + extra``.
+    """
+    points = [a]
+    if extra <= _EPS:
+        points.append(b)
+        return points
+    direction = 1.0 if b.x >= a.x else -1.0
+    run = abs(b.x - a.x)
+    combs = int(extra // (2.0 * amplitude))
+    remainder = extra - combs * 2.0 * amplitude
+    depths = [amplitude] * combs
+    if remainder > _EPS:
+        depths.append(remainder / 2.0)
+    pitch = run / (len(depths) + 1)
+    for i, depth in enumerate(depths, start=1):
+        x = a.x + direction * pitch * i
+        points.append(Point(x, a.y))
+        points.append(Point(x, a.y + depth))
+        points.append(Point(x, a.y))
+    points.append(b)
+    return points
+
+
+def edge_route(tree: ClockTree, node: ClockNode, amplitude_fraction: float = 0.05) -> EdgeRoute:
+    """The polyline of the edge above ``node``.
+
+    The trunk is an L-route (horizontal from the parent, then
+    vertical); snaking is drawn as a serpentine on the horizontal leg
+    (or on a stub at the parent when the endpoints coincide).  The
+    serpentine amplitude is ``amplitude_fraction`` of the edge length.
+    """
+    if node.parent is None:
+        raise ValueError("the root has no edge")
+    parent = tree.node(node.parent)
+    if parent.location is None or node.location is None:
+        raise ValueError("tree is not embedded")
+    start, end = parent.location, node.location
+    manhattan = start.manhattan_to(end)
+    extra = node.edge_length - manhattan
+    if extra < -1e-6 * (1.0 + node.edge_length):
+        raise ValueError(
+            "edge above node %d shorter than its endpoints' distance" % node.id
+        )
+    extra = max(extra, 0.0)
+    corner = Point(end.x, start.y)
+    amplitude = max(amplitude_fraction * max(node.edge_length, 1e-12), extra / 20.0)
+
+    points: List[Point]
+    if abs(end.x - start.x) > _EPS:
+        points = _serpentine(start, corner, extra, amplitude)
+        if abs(end.y - corner.y) > _EPS:
+            points.append(end)
+    elif abs(end.y - start.y) > _EPS:
+        # Vertical-only edge: serpentine in the transposed frame.
+        transposed = _serpentine(
+            Point(start.y, start.x), Point(end.y, end.x), extra, amplitude
+        )
+        points = [Point(p.y, p.x) for p in transposed]
+    else:
+        # Coincident endpoints: the whole edge is detour wire (combs
+        # stacked at the shared point).
+        points = _serpentine(start, end, extra, amplitude)
+    return EdgeRoute(node_id=node.id, points=points, snaked=extra > _EPS)
+
+
+def tree_routes(tree: ClockTree, amplitude_fraction: float = 0.05) -> List[EdgeRoute]:
+    """Routes for every edge of an embedded tree."""
+    return [
+        edge_route(tree, node, amplitude_fraction)
+        for node in tree.edges()
+    ]

@@ -1,0 +1,258 @@
+"""Sinks, nodes, and the embedded clock tree.
+
+The topology is full binary (paper section 2): every internal node has
+exactly two children; with ``N`` sinks there are ``N - 1`` internal
+nodes.  Following the paper we identify every non-root node ``v_i``
+with the edge ``e_i`` that connects it to its parent, so per-edge data
+(electrical length, decoupling cell, enable probabilities) lives on the
+child node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+from repro.rc.elmore import EdgeElectrical, ElmoreEvaluator
+from repro.tech.parameters import GateModel, Technology
+
+
+@dataclass(frozen=True)
+class Sink:
+    """A clock sink: the clock pin of one module."""
+
+    name: str
+    location: Point
+    load_cap: float
+    module: int
+    """Index of the module this sink clocks, for activity lookup."""
+
+    def __post_init__(self):
+        if self.load_cap < 0:
+            raise ValueError("load capacitance must be non-negative")
+        if self.module < 0:
+            raise ValueError("module index must be non-negative")
+
+
+@dataclass
+class ClockNode:
+    """One node of the clock tree, plus the edge above it.
+
+    ``edge_length`` is the *electrical* wirelength of the edge to the
+    parent, which may exceed the Manhattan distance of the endpoint
+    placements when the router snaked the wire to balance skew.
+    """
+
+    id: int
+    children: Tuple[int, ...]
+    sink: Optional[Sink]
+    merging_segment: Trr
+    parent: Optional[int] = None
+    edge_length: float = 0.0
+    edge_cell: Optional[GateModel] = None
+    edge_maskable: bool = False
+    """True when ``edge_cell`` is a masking gate driven by an enable."""
+    location: Optional[Point] = None
+    module_mask: int = 0
+    enable_probability: float = 1.0
+    enable_transition_probability: float = 0.0
+    subtree_cap: float = 0.0
+    """Capacitance presented at this node from below (router-computed)."""
+    sink_delay: float = 0.0
+    """Latest delay from this node down to its sinks (router-computed;
+    under exact zero skew every sink shares this value)."""
+    sink_delay_min: float = 0.0
+    """Earliest delay to a sink; equals ``sink_delay`` for zero-skew
+    trees, may be up to the skew bound lower for bounded-skew trees."""
+    snaked: bool = False
+
+    @property
+    def is_sink(self) -> bool:
+        return self.sink is not None
+
+    @property
+    def has_gate(self) -> bool:
+        return self.edge_cell is not None and self.edge_maskable
+
+
+class ClockTree:
+    """An embedded clock tree: topology + geometry + electrical data."""
+
+    def __init__(self, tech: Technology):
+        self._tech = tech
+        self._nodes: List[ClockNode] = []
+        self._root: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_leaf(self, sink: Sink) -> ClockNode:
+        """Append a leaf node for a sink; returns the new node."""
+        node = ClockNode(
+            id=len(self._nodes),
+            children=(),
+            sink=sink,
+            merging_segment=Trr.from_point(sink.location),
+            module_mask=1 << sink.module,
+            subtree_cap=sink.load_cap,
+        )
+        self._nodes.append(node)
+        return node
+
+    def add_internal(self, left: int, right: int, merging_segment: Trr) -> ClockNode:
+        """Append an internal node merging two existing roots."""
+        for child in (left, right):
+            if self._nodes[child].parent is not None:
+                raise ValueError("node %d already has a parent" % child)
+        node = ClockNode(
+            id=len(self._nodes),
+            children=(left, right),
+            sink=None,
+            merging_segment=merging_segment,
+        )
+        self._nodes.append(node)
+        self._nodes[left].parent = node.id
+        self._nodes[right].parent = node.id
+        return node
+
+    def set_root(self, node_id: int) -> None:
+        if self._nodes[node_id].parent is not None:
+            raise ValueError("root must not have a parent")
+        self._root = node_id
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def tech(self) -> Technology:
+        return self._tech
+
+    @property
+    def root_id(self) -> int:
+        if self._root is None:
+            raise ValueError("tree has no root yet")
+        return self._root
+
+    @property
+    def root(self) -> ClockNode:
+        return self._nodes[self.root_id]
+
+    def node(self, node_id: int) -> ClockNode:
+        return self._nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[ClockNode]:
+        return iter(self._nodes)
+
+    def sinks(self) -> List[ClockNode]:
+        return [n for n in self._nodes if n.is_sink]
+
+    def internal_nodes(self) -> List[ClockNode]:
+        return [n for n in self._nodes if not n.is_sink]
+
+    def edges(self) -> Iterator[ClockNode]:
+        """Every node that has an edge above it (all but the root)."""
+        root = self.root_id
+        return (n for n in self._nodes if n.id != root and n.parent is not None)
+
+    def gates(self) -> List[ClockNode]:
+        """Nodes whose edge carries a masking gate."""
+        return [n for n in self.edges() if n.has_gate]
+
+    def preorder(self) -> Iterator[ClockNode]:
+        """Root-first traversal."""
+        stack = [self.root_id]
+        while stack:
+            node = self._nodes[stack.pop()]
+            yield node
+            stack.extend(node.children)
+
+    def parent_chain(self, node_id: int) -> Iterator[ClockNode]:
+        """Ancestors of a node, nearest first (excluding the node)."""
+        parent = self._nodes[node_id].parent
+        while parent is not None:
+            node = self._nodes[parent]
+            yield node
+            parent = node.parent
+
+    def depth(self, node_id: int) -> int:
+        return sum(1 for _ in self.parent_chain(node_id))
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+    # ------------------------------------------------------------------
+    def total_wirelength(self) -> float:
+        """Electrical wirelength of the clock tree (snaking included)."""
+        root = self.root_id
+        return sum(n.edge_length for n in self._nodes if n.id != root)
+
+    def gate_count(self) -> int:
+        return sum(1 for n in self._nodes if n.has_gate)
+
+    def cell_count(self) -> int:
+        root = self.root_id
+        return sum(1 for n in self._nodes if n.id != root and n.edge_cell is not None)
+
+    def cell_area(self) -> float:
+        root = self.root_id
+        return sum(
+            n.edge_cell.area
+            for n in self._nodes
+            if n.id != root and n.edge_cell is not None
+        )
+
+    # ------------------------------------------------------------------
+    # auditing
+    # ------------------------------------------------------------------
+    def elmore_evaluator(self) -> ElmoreEvaluator:
+        """Ground-truth Elmore evaluator over the embedded tree."""
+        root = self.root_id
+        edges = []
+        children: Dict[int, List[int]] = {}
+        for n in self._nodes:
+            if n.parent is None and n.id != root:
+                continue  # detached node (should not happen post-build)
+            edges.append(
+                EdgeElectrical(
+                    node=n.id,
+                    parent=-1 if n.id == root else n.parent,
+                    length=0.0 if n.id == root else n.edge_length,
+                    cell=None if n.id == root else n.edge_cell,
+                    node_cap=n.sink.load_cap if n.is_sink else 0.0,
+                )
+            )
+            children[n.id] = list(n.children)
+        return ElmoreEvaluator(edges=edges, children=children, tech=self._tech)
+
+    def skew(self) -> float:
+        """Recomputed (non-incremental) Elmore skew of the tree."""
+        return self.elmore_evaluator().skew()
+
+    def phase_delay(self) -> float:
+        """Recomputed root-to-sink Elmore delay."""
+        return self.elmore_evaluator().max_delay()
+
+    def validate_embedding(self, tol: float = 1e-6) -> None:
+        """Check placement consistency; raises ``ValueError`` on failure.
+
+        * every node is placed and lies on its merging segment,
+        * every edge's electrical length covers the Manhattan distance
+          between its endpoint placements (snaking only adds length).
+        """
+        for node in self.preorder():
+            if node.location is None:
+                raise ValueError("node %d is not placed" % node.id)
+            if not node.merging_segment.contains_point(node.location, tol=tol):
+                raise ValueError("node %d placed off its merging segment" % node.id)
+            if node.id != self.root_id:
+                parent = self._nodes[node.parent]
+                dist = node.location.manhattan_to(parent.location)
+                if node.edge_length < dist - tol:
+                    raise ValueError(
+                        "edge above node %d shorter than its endpoints' distance"
+                        % node.id
+                    )

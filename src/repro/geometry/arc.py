@@ -1,0 +1,84 @@
+"""Manhattan arcs -- the merging segments of deferred-merge embedding.
+
+A Manhattan arc is a (possibly degenerate) line segment of slope +1 or
+-1.  Internally it is just a degenerate :class:`~repro.geometry.trr.Trr`
+(one of the rotated extents is zero); this module adds the segment-
+flavored API the clock-tree code wants: endpoints, length, parametric
+points, and the paper's ``mid(ms(v))`` used to estimate controller-tree
+edge lengths during bottom-up merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+
+@dataclass(frozen=True)
+class ManhattanArc:
+    """A merging segment described by its underlying TRR."""
+
+    region: Trr
+
+    def __post_init__(self):
+        if not self.region.is_arc:
+            raise ValueError("region is a 2-D TRR, not a Manhattan arc")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_point(p: Point) -> "ManhattanArc":
+        """The degenerate arc consisting of a single point."""
+        return ManhattanArc(Trr.from_point(p))
+
+    @staticmethod
+    def from_endpoints(a: Point, b: Point, tol: float = 1e-6) -> "ManhattanArc":
+        """The arc between two points; they must lie on a +/-1 slope line."""
+        trr = Trr.from_segment(a, b)
+        if not trr.is_arc and min(trr.u_extent, trr.v_extent) > tol:
+            raise ValueError("endpoints do not define a slope +/-1 segment")
+        return ManhattanArc(trr)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        return self.region.is_point
+
+    @property
+    def length(self) -> float:
+        """Manhattan length of the arc (L1 distance between endpoints).
+
+        A slope +/-1 segment of rotated extent ``d`` has L1 length ``d``.
+        """
+        return max(self.region.u_extent, self.region.v_extent)
+
+    def endpoints(self):
+        """The two endpoints (equal for a degenerate arc)."""
+        if self.is_point:
+            c = self.region.center()
+            return c, c
+        return self.region.endpoints_xy()
+
+    def midpoint(self) -> Point:
+        """The paper's ``mid(ms(v))`` -- center of the merging segment."""
+        return self.region.center()
+
+    def point_at(self, t: float) -> Point:
+        """Parametric point, ``t`` in [0, 1] from one endpoint to the other."""
+        if not 0.0 <= t <= 1.0:
+            raise ValueError("t must lie in [0, 1]")
+        a, b = self.endpoints()
+        return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+
+    def distance_to(self, other: "ManhattanArc") -> float:
+        """Minimum Manhattan distance between two arcs."""
+        return self.region.distance_to(other.region)
+
+    def nearest_point_to(self, p: Point) -> Point:
+        """The arc point closest (L1) to ``p``."""
+        return self.region.nearest_point_to(p)

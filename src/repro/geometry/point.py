@@ -1,0 +1,64 @@
+"""Points in the Manhattan plane.
+
+Coordinates are floats in layout units (lambda).  The rotated
+coordinates ``u = x + y`` and ``v = x - y`` turn the L1 metric into the
+L-infinity metric, which is what makes tilted-rectangle arithmetic (see
+:mod:`repro.geometry.trr`) a pair of independent interval computations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable point ``(x, y)`` in the layout plane."""
+
+    x: float
+    y: float
+
+    @property
+    def u(self) -> float:
+        """Rotated coordinate ``x + y``."""
+        return self.x + self.y
+
+    @property
+    def v(self) -> float:
+        """Rotated coordinate ``x - y``."""
+        return self.x - self.y
+
+    @staticmethod
+    def from_uv(u: float, v: float) -> "Point":
+        """Build a point from rotated coordinates."""
+        return Point((u + v) / 2.0, (u - v) / 2.0)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between ``self`` and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """True when both coordinates match within ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def manhattan_distance(a: Point, b: Point) -> float:
+    """Manhattan (L1) distance between two points."""
+    return a.manhattan_to(b)

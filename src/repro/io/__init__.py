@@ -1,0 +1,15 @@
+"""File formats: sink lists, tree JSON, SVG layout rendering."""
+
+from repro.io.sinkfile import read_sinks, write_sinks
+from repro.io.treejson import tree_from_dict, tree_to_dict, load_tree, save_tree
+from repro.io.svg import render_svg
+
+__all__ = [
+    "read_sinks",
+    "write_sinks",
+    "tree_from_dict",
+    "tree_to_dict",
+    "load_tree",
+    "save_tree",
+    "render_svg",
+]

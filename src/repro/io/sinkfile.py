@@ -1,0 +1,76 @@
+"""Plain-text sink lists.
+
+Format (whitespace-separated, ``#`` comments)::
+
+    # name  x  y  load_cap  [module]
+    s0  1200.0  340.5  0.05  0
+    s1  8000.0  910.0  0.03  1
+
+``module`` defaults to the line's position so external sink files
+(e.g. converted Tsay benchmarks) can omit it.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Sequence, TextIO, Union
+
+from repro.cts.topology import Sink
+from repro.geometry.point import Point
+
+PathLike = Union[str, Path]
+
+
+def _parse(handle: TextIO) -> List[Sink]:
+    sinks: List[Sink] = []
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) not in (4, 5):
+            raise ValueError(
+                "line %d: expected 'name x y cap [module]', got %r" % (lineno, raw)
+            )
+        name = parts[0]
+        try:
+            x, y, cap = (float(p) for p in parts[1:4])
+            module = int(parts[4]) if len(parts) == 5 else len(sinks)
+        except ValueError as exc:
+            raise ValueError("line %d: %s" % (lineno, exc)) from exc
+        sinks.append(
+            Sink(name=name, location=Point(x, y), load_cap=cap, module=module)
+        )
+    if not sinks:
+        raise ValueError("sink file contains no sinks")
+    return sinks
+
+
+def read_sinks(source: Union[PathLike, TextIO]) -> List[Sink]:
+    """Read a sink file (path or open text handle)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse(handle)
+    return _parse(source)
+
+
+def write_sinks(sinks: Sequence[Sink], target: Union[PathLike, TextIO]) -> None:
+    """Write sinks in the format :func:`read_sinks` accepts."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_sinks(sinks, handle)
+        return
+    target.write("# name x y load_cap module\n")
+    for sink in sinks:
+        target.write(
+            "%s %.6f %.6f %.9f %d\n"
+            % (sink.name, sink.location.x, sink.location.y, sink.load_cap, sink.module)
+        )
+
+
+def sinks_to_text(sinks: Sequence[Sink]) -> str:
+    """The sink file contents as a string."""
+    buffer = io.StringIO()
+    write_sinks(sinks, buffer)
+    return buffer.getvalue()

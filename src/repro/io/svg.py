@@ -1,0 +1,137 @@
+"""SVG rendering of routed clock networks.
+
+Produces a self-contained SVG picture in the style of the paper's
+Fig. 1: the die outline, the embedded clock tree (rectilinear edge
+routes from :mod:`repro.cts.routes`, including the actual serpentine
+detours of snaked edges, drawn dashed), sinks, masking gates (at the
+top of their edge), the controller(s), and optionally the enable star
+wiring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.controller import ControllerLayout, EnableRouting, gate_location
+from repro.cts.topology import ClockTree
+from repro.geometry.point import Point
+
+_STYLE = {
+    "wire": 'stroke="#1565c0" stroke-width="{w}" fill="none"',
+    "snaked": 'stroke="#1565c0" stroke-width="{w}" fill="none" stroke-dasharray="{d},{d}"',
+    "enable": 'stroke="#9e9e9e" stroke-width="{w}" fill="none" opacity="0.5"',
+    "sink": 'fill="#2e7d32"',
+    "gate": 'fill="#c62828"',
+    "steiner": 'fill="#1565c0"',
+    "controller": 'fill="#6a1b9a"',
+    "die": 'stroke="#616161" stroke-width="{w}" fill="none"',
+}
+
+
+def _l_route(a: Point, b: Point) -> str:
+    """SVG path for an L-shaped (horizontal-then-vertical) route."""
+    return "M %.1f %.1f L %.1f %.1f L %.1f %.1f" % (a.x, a.y, b.x, a.y, b.x, b.y)
+
+
+def render_svg(
+    tree: ClockTree,
+    routing: Optional[EnableRouting] = None,
+    layout: Optional[ControllerLayout] = None,
+    width: int = 800,
+    show_enables: bool = True,
+) -> str:
+    """Render the routed network; returns the SVG document as a string."""
+    points = [n.location for n in tree.nodes() if n.location is not None]
+    if not points:
+        raise ValueError("tree is not embedded; nothing to draw")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    if layout is not None:
+        xs += [layout.die.x0, layout.die.x1]
+        ys += [layout.die.y0, layout.die.y1]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    span = max(x1 - x0, y1 - y0, 1.0)
+    margin = 0.03 * span
+    view = "%.1f %.1f %.1f %.1f" % (
+        x0 - margin,
+        y0 - margin,
+        (x1 - x0) + 2 * margin,
+        (y1 - y0) + 2 * margin,
+    )
+    wire_w = span / 400.0
+    dot = span / 150.0
+
+    parts: List[str] = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" viewBox="%s">'
+        % (width, view)
+    ]
+    if layout is not None:
+        die = layout.die
+        parts.append(
+            '<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" %s/>'
+            % (die.x0, die.y0, die.width, die.height, _STYLE["die"].format(w=wire_w))
+        )
+
+    if routing is not None and show_enables and layout is not None:
+        for route in routing.routes:
+            node = tree.node(route.node_id)
+            pin = gate_location(tree, node)
+            ctrl = layout.points[route.controller_index]
+            parts.append(
+                '<path d="%s" %s/>'
+                % (_l_route(ctrl, pin), _STYLE["enable"].format(w=wire_w * 0.8))
+            )
+
+    from repro.cts.routes import edge_route
+
+    root_id = tree.root_id
+    for node in tree.nodes():
+        if node.id == root_id or node.parent is None or node.location is None:
+            continue
+        route = edge_route(tree, node)
+        style = _STYLE["snaked"] if route.snaked else _STYLE["wire"]
+        path = "M " + " L ".join("%.1f %.1f" % (p.x, p.y) for p in route.points)
+        parts.append('<path d="%s" %s/>' % (path, style.format(w=wire_w, d=dot)))
+
+    for node in tree.nodes():
+        if node.location is None:
+            continue
+        if node.is_sink:
+            parts.append(
+                '<circle cx="%.1f" cy="%.1f" r="%.1f" %s/>'
+                % (node.location.x, node.location.y, dot, _STYLE["sink"])
+            )
+        elif node.id != root_id:
+            parts.append(
+                '<circle cx="%.1f" cy="%.1f" r="%.1f" %s/>'
+                % (node.location.x, node.location.y, dot * 0.6, _STYLE["steiner"])
+            )
+        if node.has_gate and node.parent is not None:
+            pin = gate_location(tree, node)
+            parts.append(
+                '<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" %s/>'
+                % (pin.x - dot * 0.7, pin.y - dot * 0.7, dot * 1.4, dot * 1.4, _STYLE["gate"])
+            )
+
+    if layout is not None:
+        for ctrl in layout.points:
+            parts.append(
+                '<circle cx="%.1f" cy="%.1f" r="%.1f" %s/>'
+                % (ctrl.x, ctrl.y, dot * 1.6, _STYLE["controller"])
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    tree: ClockTree,
+    path: str,
+    routing: Optional[EnableRouting] = None,
+    layout: Optional[ControllerLayout] = None,
+    **kwargs,
+) -> None:
+    """Render and write to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(tree, routing=routing, layout=layout, **kwargs))

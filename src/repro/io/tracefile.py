@@ -1,0 +1,115 @@
+"""ISA and instruction-trace file formats.
+
+Lets users drive the router from their own instruction-level simulator
+output instead of the synthetic CPU model:
+
+* **ISA file** (JSON): the RTL usage description (paper Table 1) --
+  instruction names mapped to the modules they exercise, plus the
+  module universe size.
+* **Trace file** (text): one instruction name per line (comments with
+  ``#``), i.e. the executed stream the simulator recorded.
+
+``load_workload`` reads both and returns the ready-to-use
+:class:`~repro.activity.probability.ActivityOracle`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.activity.isa import InstructionSet
+from repro.activity.probability import ActivityOracle
+from repro.activity.stream import InstructionStream
+from repro.activity.tables import ActivityTables
+
+PathLike = Union[str, Path]
+
+ISA_FORMAT_VERSION = 1
+
+
+def write_isa(isa: InstructionSet, target: Union[PathLike, TextIO]) -> None:
+    """Write an ISA description as JSON."""
+    data = {
+        "format_version": ISA_FORMAT_VERSION,
+        "num_modules": isa.num_modules,
+        "instructions": {
+            instr.name: sorted(instr.modules) for instr in isa.instructions
+        },
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=1)
+        return
+    json.dump(data, target, indent=1)
+
+
+def read_isa(source: Union[PathLike, TextIO]) -> InstructionSet:
+    """Read an ISA description written by :func:`write_isa`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    if data.get("format_version") != ISA_FORMAT_VERSION:
+        raise ValueError("unsupported ISA format version %r" % data.get("format_version"))
+    instructions = data["instructions"]
+    return InstructionSet.from_usage_lists(
+        usage=[set(mods) for mods in instructions.values()],
+        num_modules=int(data["num_modules"]),
+        names=list(instructions),
+    )
+
+
+def write_trace(
+    isa: InstructionSet, stream: InstructionStream, target: Union[PathLike, TextIO]
+) -> None:
+    """Write a trace as one instruction name per line."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_trace(isa, stream, handle)
+        return
+    names = isa.names
+    target.write("# instruction trace, %d cycles\n" % len(stream))
+    for instr_id in stream.ids:
+        target.write(names[instr_id] + "\n")
+
+
+def read_trace(isa: InstructionSet, source: Union[PathLike, TextIO]) -> InstructionStream:
+    """Read a trace of instruction names against a known ISA."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_trace(isa, handle)
+    index = {name: k for k, name in enumerate(isa.names)}
+    ids: List[int] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line not in index:
+            raise ValueError("line %d: unknown instruction %r" % (lineno, line))
+        ids.append(index[line])
+    if not ids:
+        raise ValueError("trace contains no instructions")
+    return InstructionStream(ids=np.array(ids, dtype=np.int64))
+
+
+def load_workload(isa_path: PathLike, trace_path: PathLike) -> ActivityOracle:
+    """ISA + trace files -> ready-to-route activity oracle."""
+    isa = read_isa(isa_path)
+    stream = read_trace(isa, trace_path)
+    return ActivityOracle(ActivityTables.from_stream(isa, stream))
+
+
+def save_workload(
+    isa: InstructionSet,
+    stream: InstructionStream,
+    isa_path: PathLike,
+    trace_path: PathLike,
+) -> None:
+    """Persist a workload so a run can be reproduced bit-for-bit."""
+    write_isa(isa, isa_path)
+    write_trace(isa, stream, trace_path)

@@ -1,0 +1,13 @@
+"""Elmore-delay engine for clock trees with decoupling cells.
+
+The clock routers do their own incremental delay bookkeeping while
+merging; this package provides the *independent* evaluator used to
+audit finished trees: it rebuilds the RC network from the embedded tree
+and recomputes every sink delay from scratch, so tests can assert that
+the incremental math and the ground-truth Elmore model agree and that
+skew is exactly zero.
+"""
+
+from repro.rc.elmore import EdgeElectrical, ElmoreEvaluator, SinkDelay
+
+__all__ = ["EdgeElectrical", "ElmoreEvaluator", "SinkDelay"]

@@ -1,0 +1,177 @@
+"""Elmore delay evaluation for (possibly gated) clock trees.
+
+Model
+-----
+Every tree edge is a distributed RC wire of electrical length ``L``
+(which may exceed the Manhattan distance of its endpoints when the
+router snaked the wire): resistance ``r*L``, capacitance ``c*L``.  An
+edge may carry a *cell* (masking AND gate or buffer) at its **top** --
+the cell input hangs on the parent node, the cell output drives the
+wire.  An ideal decoupling cell:
+
+* presents only its input capacitance upstream,
+* adds ``D + R_drive * C_downstream`` to the path delay, where
+  ``C_downstream`` is everything below the cell up to the next cells.
+
+The Elmore delay of a sink is then the sum over the path of
+
+``D_cell + R_cell * (c*L + C_sub)  +  r*L * (c*L/2 + C_sub)``
+
+per edge, where ``C_sub`` is the capacitance presented at the edge's
+bottom node and the cell terms vanish on plain wires.  This is exactly
+the bookkeeping the routers do incrementally; this module recomputes it
+non-incrementally from the final tree for auditing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.tech.parameters import GateModel, Technology
+
+
+@dataclass(frozen=True)
+class EdgeElectrical:
+    """Electrical description of one tree edge, as seen by the evaluator.
+
+    ``parent < 0`` marks the root pseudo-edge (no wire, no cell).
+    """
+
+    node: int
+    parent: int
+    length: float
+    cell: Optional[GateModel]
+    node_cap: float
+    """Capacitance attached directly at the bottom node (sink load for
+    leaves, zero for internal nodes -- children's contributions are
+    accumulated separately)."""
+
+
+@dataclass(frozen=True)
+class SinkDelay:
+    """Delay of one sink, plus the path capacitance audit."""
+
+    node: int
+    delay: float
+
+
+class ElmoreEvaluator:
+    """Recomputes subtree capacitances and sink delays for a tree.
+
+    Parameters
+    ----------
+    edges:
+        One :class:`EdgeElectrical` per node, in any order.  Exactly one
+        entry must be the root (``parent < 0``).
+    children:
+        Adjacency: ``children[i]`` lists the node ids whose parent is
+        ``i``.
+    tech:
+        Wire RC constants.
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[EdgeElectrical],
+        children: Dict[int, List[int]],
+        tech: Technology,
+    ):
+        self._edges = {e.node: e for e in edges}
+        self._children = children
+        self._tech = tech
+        roots = [e.node for e in edges if e.parent < 0]
+        if len(roots) != 1:
+            raise ValueError("expected exactly one root, found %d" % len(roots))
+        self._root = roots[0]
+        self._presented: Dict[int, float] = {}
+        self._subtree_cap: Dict[int, float] = {}
+        self._compute_caps()
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    # ------------------------------------------------------------------
+    # capacitance
+    # ------------------------------------------------------------------
+    def _compute_caps(self) -> None:
+        """Bottom-up pass filling presented-cap tables (iterative)."""
+        order = self._postorder()
+        c = self._tech.unit_wire_capacitance
+        for node in order:
+            edge = self._edges[node]
+            below = edge.node_cap + sum(
+                self._presented[ch] for ch in self._children.get(node, [])
+            )
+            self._subtree_cap[node] = below
+            if edge.parent < 0:
+                self._presented[node] = below
+            elif edge.cell is not None:
+                self._presented[node] = edge.cell.input_cap
+            else:
+                self._presented[node] = c * edge.length + below
+
+    def _postorder(self) -> List[int]:
+        order: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(self._children.get(node, []))
+        order.reverse()
+        return order
+
+    def subtree_cap(self, node: int) -> float:
+        """Capacitance hanging at ``node`` from below (before its edge)."""
+        return self._subtree_cap[node]
+
+    def presented_cap(self, node: int) -> float:
+        """Capacitance the edge above ``node`` presents to the parent."""
+        return self._presented[node]
+
+    # ------------------------------------------------------------------
+    # delay
+    # ------------------------------------------------------------------
+    def edge_delay(self, node: int) -> float:
+        """Elmore delay across the edge above ``node`` (cell + wire)."""
+        edge = self._edges[node]
+        if edge.parent < 0:
+            return 0.0
+        r = self._tech.unit_wire_resistance
+        c = self._tech.unit_wire_capacitance
+        load = self._subtree_cap[node]
+        wire = r * edge.length * (c * edge.length / 2.0 + load)
+        if edge.cell is None:
+            return wire
+        cell = edge.cell
+        return (
+            cell.intrinsic_delay
+            + cell.drive_resistance * (c * edge.length + load)
+            + wire
+        )
+
+    def sink_delays(self) -> List[SinkDelay]:
+        """Root-to-sink Elmore delay for every leaf."""
+        arrival: Dict[int, float] = {self._root: 0.0}
+        out: List[SinkDelay] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            kids = self._children.get(node, [])
+            if not kids:
+                out.append(SinkDelay(node=node, delay=arrival[node]))
+                continue
+            for ch in kids:
+                arrival[ch] = arrival[node] + self.edge_delay(ch)
+                stack.append(ch)
+        return out
+
+    def skew(self) -> float:
+        """Max minus min sink delay (0 for a perfect zero-skew tree)."""
+        delays = [s.delay for s in self.sink_delays()]
+        return max(delays) - min(delays)
+
+    def max_delay(self) -> float:
+        """Phase delay: the (common) root-to-sink delay."""
+        return max(s.delay for s in self.sink_delays())

@@ -1,0 +1,16 @@
+"""Cycle-accurate switched-capacitance simulation.
+
+The paper replaces clock-by-clock simulation with table-driven
+statistics because the simulation is "very expensive".  This package
+implements that expensive simulation anyway -- vectorized, so it is
+affordable -- and uses it as the *ground truth* the statistical
+accounting is verified against: replaying the very trace the tables
+were built from must reproduce ``W(T)`` and ``W(S)`` exactly (they are
+plug-in statistics of the same empirical distribution), and replaying
+a *different* trace from the same workload measures how well the
+probabilistic model generalizes.
+"""
+
+from repro.sim.cycle import ClockNetworkSimulator, SimulationResult
+
+__all__ = ["ClockNetworkSimulator", "SimulationResult"]

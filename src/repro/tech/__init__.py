@@ -1,0 +1,13 @@
+"""Technology models: wire RC constants, gate/buffer electrical data.
+
+Everything the router needs to know about the process lives here so
+that the algorithms stay technology-independent.  ``Technology`` bundles
+unit wire resistance/capacitance, the AND (masking) gate model, the
+buffer model used by the baseline tree, the clock activity factor, and
+the wire width used for area accounting.
+"""
+
+from repro.tech.parameters import GateModel, Technology
+from repro.tech.presets import date98_technology, unit_technology
+
+__all__ = ["GateModel", "Technology", "date98_technology", "unit_technology"]

@@ -1,0 +1,62 @@
+"""Technology presets.
+
+``date98_technology`` is calibrated so the synthetic r1-r5 benchmarks
+land in the paper's reported ranges (switched capacitance of hundreds
+of pF, routing area of a few 1e6 lambda^2).  ``unit_technology`` uses
+round numbers and is what most unit tests build against.
+"""
+
+from __future__ import annotations
+
+from repro.tech.parameters import GateModel, Technology
+
+#: Size ratio between the baseline buffer and the masking AND gate
+#: (paper section 5.1: buffer = half the size of the AND gate).
+BUFFER_TO_GATE_SIZE_RATIO = 0.5
+
+
+def date98_technology() -> Technology:
+    """Constants representative of the paper's late-90s process.
+
+    * wire: 0.03 ohm / lambda, 2.0e-4 pF / lambda
+    * AND gate: 0.05 pF input, 60 ohm drive, small intrinsic delay,
+      1000 lambda^2 of cell area
+    * buffer: the AND gate scaled by 0.5
+
+    The wire resistance is deliberately on the strong side so that
+    mixed gated/ungated sibling merges can be skew-balanced with
+    moderate wire snaking (the paper sizes its gates to tune phase
+    delay instead; we keep cells fixed-size).
+    """
+    gate = GateModel(
+        input_cap=0.05,
+        drive_resistance=60.0,
+        intrinsic_delay=2.0,
+        area=1000.0,
+    )
+    return Technology(
+        unit_wire_resistance=0.03,
+        unit_wire_capacitance=2.0e-4,
+        masking_gate=gate,
+        buffer=gate.scaled(BUFFER_TO_GATE_SIZE_RATIO),
+        clock_transitions_per_cycle=2.0,
+        wire_width=1.0,
+    )
+
+
+def unit_technology() -> Technology:
+    """Round-number constants for unit tests and worked examples."""
+    gate = GateModel(
+        input_cap=1.0,
+        drive_resistance=1.0,
+        intrinsic_delay=1.0,
+        area=10.0,
+    )
+    return Technology(
+        unit_wire_resistance=1.0,
+        unit_wire_capacitance=1.0,
+        masking_gate=gate,
+        buffer=gate.scaled(BUFFER_TO_GATE_SIZE_RATIO),
+        clock_transitions_per_cycle=2.0,
+        wire_width=1.0,
+    )

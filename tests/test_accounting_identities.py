@@ -1,0 +1,165 @@
+"""Global accounting identities across the greedy construction.
+
+These tests tie the three layers together: the per-merge incremental
+cost, the final per-edge accounting, and the technology scaling laws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import InstructionSet
+from repro.core.cost import incremental_switched_capacitance_cost
+from repro.core.switched_cap import clock_tree_switched_cap
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.dme import GateEveryEdgePolicy
+from repro.geometry import Point
+from repro.tech import GateModel, Technology, unit_technology
+
+
+def rng_setup(n=14, seed=3):
+    rng = np.random.default_rng(seed)
+    sinks = [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=float(c), module=i)
+        for i, (x, y, c) in enumerate(
+            zip(rng.uniform(0, 300, n), rng.uniform(0, 300, n), rng.uniform(0.3, 2.0, n))
+        )
+    ]
+    lists = []
+    for _ in range(8):
+        row = set(np.nonzero(rng.random(n) < 0.35)[0].tolist())
+        lists.append(row or {0})
+    isa = InstructionSet.from_usage_lists(lists, num_modules=n)
+    stream = InstructionStream(ids=rng.integers(0, 8, 400))
+    return sinks, ActivityOracle(ActivityTables.from_stream(isa, stream))
+
+
+class TestIncrementalCostIdentity:
+    def test_executed_increments_reconstruct_clock_w(self):
+        """Sum of per-merge clock increments + the terms no merge owns
+        (leaf loads, the root pins' always-on correction) equals the
+        final W(T) of a fully gated tree, exactly."""
+        sinks, oracle = rng_setup()
+        tech = unit_technology()
+
+        recorded = []
+        original_execute = BottomUpMerger.execute
+
+        merger = BottomUpMerger(
+            sinks,
+            tech,
+            cost=incremental_switched_capacitance_cost,
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        )
+
+        def recording_execute(plan):
+            a_clk = tech.clock_transitions_per_cycle
+            c = tech.unit_wire_capacitance
+            part = 0.0
+            for child_id, decision, edge_len in (
+                (plan.a_id, plan.decision_a, plan.split.length_a),
+                (plan.b_id, plan.decision_b, plan.split.length_b),
+            ):
+                child = merger.tree.node(child_id)
+                part += a_clk * c * edge_len * child.enable_probability
+                part += a_clk * decision.cell.input_cap * plan.merged_probability
+            recorded.append(part)
+            return original_execute(merger, plan)
+
+        merger.execute = recording_execute
+        tree = merger.run()
+
+        a_clk = tech.clock_transitions_per_cycle
+        leaf_terms = sum(
+            a_clk * n.sink.load_cap * n.enable_probability for n in tree.sinks()
+        )
+        # The final merge's pins hang at the root, which switches at
+        # probability 1, not at P(EN_root) as the plan estimated.
+        root = tree.root
+        root_pins = sum(
+            tree.node(cid).edge_cell.input_cap for cid in root.children
+        )
+        root_correction = a_clk * root_pins * (1.0 - root.enable_probability)
+
+        reconstructed = sum(recorded) + leaf_terms + root_correction
+        assert reconstructed == pytest.approx(
+            clock_tree_switched_cap(tree, tech), rel=1e-9
+        )
+
+
+class TestScalingLaws:
+    def _route(self, tech, sinks, oracle):
+        from repro.core.controller import ControllerLayout, Die, route_enables
+
+        tree = BottomUpMerger(
+            sinks,
+            tech,
+            cost=incremental_switched_capacitance_cost,
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        ).run()
+        die = Die.bounding([s.location for s in sinks])
+        routing = route_enables(tree, ControllerLayout.centralized(die), tech)
+        return tree, routing
+
+    def test_wire_cap_scales_wire_terms_linearly(self):
+        # Doubling c doubles every wire capacitance term; with the same
+        # topology the clock W difference is exactly the wire part.
+        sinks, oracle = rng_setup(seed=5)
+        base_tech = unit_technology()
+        tree, _ = self._route(base_tech, sinks, oracle)
+
+        doubled = Technology(
+            unit_wire_resistance=base_tech.unit_wire_resistance,
+            unit_wire_capacitance=2.0 * base_tech.unit_wire_capacitance,
+            masking_gate=base_tech.masking_gate,
+            buffer=base_tech.buffer,
+            clock_transitions_per_cycle=base_tech.clock_transitions_per_cycle,
+        )
+        # Evaluate the SAME tree under the doubled-cap accounting: the
+        # wire contribution must exactly double.
+        from repro.core.switched_cap import effective_enable_probabilities
+
+        eff = effective_enable_probabilities(tree)
+        wire_part = sum(
+            base_tech.clock_transitions_per_cycle
+            * eff[n.id]
+            * base_tech.wire_cap(n.edge_length)
+            for n in tree.edges()
+        )
+        w_base = clock_tree_switched_cap(tree, base_tech)
+        w_doubled = clock_tree_switched_cap(tree, doubled)
+        assert w_doubled - w_base == pytest.approx(wire_part, rel=1e-9)
+
+    def test_activity_factor_scales_clock_w_linearly(self):
+        sinks, oracle = rng_setup(seed=7)
+        base = unit_technology()
+        tree, _ = self._route(base, sinks, oracle)
+        halved = Technology(
+            unit_wire_resistance=base.unit_wire_resistance,
+            unit_wire_capacitance=base.unit_wire_capacitance,
+            masking_gate=base.masking_gate,
+            buffer=base.buffer,
+            clock_transitions_per_cycle=1.0,
+        )
+        assert clock_tree_switched_cap(tree, halved) == pytest.approx(
+            clock_tree_switched_cap(tree, base) / 2.0
+        )
+
+    def test_controller_w_independent_of_clock_activity(self):
+        from repro.core.controller import ControllerLayout, Die, route_enables
+
+        sinks, oracle = rng_setup(seed=9)
+        base = unit_technology()
+        tree, routing = self._route(base, sinks, oracle)
+        quiet = Technology(
+            unit_wire_resistance=base.unit_wire_resistance,
+            unit_wire_capacitance=base.unit_wire_capacitance,
+            masking_gate=base.masking_gate,
+            buffer=base.buffer,
+            clock_transitions_per_cycle=1.0,
+        )
+        die = Die.bounding([s.location for s in sinks])
+        again = route_enables(tree, ControllerLayout.centralized(die), quiet)
+        assert again.switched_cap == pytest.approx(routing.switched_cap)

@@ -1,0 +1,109 @@
+"""Unit tests for the table-driven probability oracle (paper section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import paper_example_isa, paper_example_stream
+from repro.activity.probability import scan_stream_probabilities
+
+
+def paper_oracle():
+    isa = paper_example_isa()
+    stream = InstructionStream(ids=np.array(paper_example_stream()))
+    return ActivityOracle(ActivityTables.from_stream(isa, stream)), isa, stream
+
+
+class TestSignalProbability:
+    def test_paper_m1(self):
+        oracle, _, _ = paper_oracle()
+        assert oracle.signal_probability(1 << 0) == pytest.approx(0.75)
+
+    def test_paper_m5_or_m6(self):
+        # The paper's P(EN) example: P(M5 v M6) = 0.55.
+        oracle, _, _ = paper_oracle()
+        mask = (1 << 4) | (1 << 5)
+        assert oracle.signal_probability(mask) == pytest.approx(0.55)
+
+    def test_empty_set_is_zero(self):
+        oracle, _, _ = paper_oracle()
+        assert oracle.signal_probability(0) == 0.0
+
+    def test_all_modules_is_one(self):
+        # Every instruction clocks something, so the union of all
+        # modules is active every cycle.
+        oracle, isa, _ = paper_oracle()
+        assert oracle.signal_probability((1 << isa.num_modules) - 1) == pytest.approx(1.0)
+
+    def test_monotone_in_module_set(self):
+        oracle, _, _ = paper_oracle()
+        single = oracle.signal_probability(1 << 4)
+        union = oracle.signal_probability((1 << 4) | (1 << 5))
+        assert union >= single
+
+    def test_union_bound(self):
+        oracle, _, _ = paper_oracle()
+        p5 = oracle.signal_probability(1 << 4)
+        p6 = oracle.signal_probability(1 << 5)
+        both = oracle.signal_probability((1 << 4) | (1 << 5))
+        assert both <= p5 + p6 + 1e-12
+        assert both >= max(p5, p6) - 1e-12
+
+
+class TestTransitionProbability:
+    def test_paper_m5_or_m6_transitions(self):
+        # 9 transitions over 19 pairs.
+        oracle, _, _ = paper_oracle()
+        mask = (1 << 4) | (1 << 5)
+        assert oracle.transition_probability(mask) == pytest.approx(9 / 19)
+
+    def test_empty_set_is_zero(self):
+        oracle, _, _ = paper_oracle()
+        assert oracle.transition_probability(0) == 0.0
+
+    def test_always_on_set_never_toggles(self):
+        oracle, isa, _ = paper_oracle()
+        assert oracle.transition_probability((1 << isa.num_modules) - 1) == pytest.approx(0.0)
+
+    def test_bounded_by_twice_min_probability(self):
+        # Each 0->1 transition needs a 0 cycle and a 1 cycle, so the
+        # toggle count is at most 2*min(#0s, #1s); over B-1 pairs that
+        # gives P_tr <= 2*min(P, 1-P) * B/(B-1).
+        oracle, isa, stream = paper_oracle()
+        slack = len(stream) / (len(stream) - 1)
+        for mask in (1 << 2, (1 << 1) | (1 << 3), (1 << 0) | (1 << 5)):
+            p = oracle.signal_probability(mask)
+            ptr = oracle.transition_probability(mask)
+            assert ptr <= 2 * min(p, 1 - p) * slack + 1e-9
+
+
+class TestAgainstBruteForce:
+    def test_matches_scan_for_every_single_module(self):
+        oracle, isa, stream = paper_oracle()
+        for j in range(isa.num_modules):
+            mask = 1 << j
+            p_scan, ptr_scan = scan_stream_probabilities(isa, stream, mask)
+            assert oracle.signal_probability(mask) == pytest.approx(p_scan)
+            assert oracle.transition_probability(mask) == pytest.approx(ptr_scan)
+
+    def test_matches_scan_for_pairs(self):
+        oracle, isa, stream = paper_oracle()
+        n = isa.num_modules
+        for a in range(n):
+            for b in range(a + 1, n):
+                mask = (1 << a) | (1 << b)
+                p_scan, ptr_scan = scan_stream_probabilities(isa, stream, mask)
+                stats = oracle.statistics(mask)
+                assert stats.signal_probability == pytest.approx(p_scan)
+                assert stats.transition_probability == pytest.approx(ptr_scan)
+
+    def test_statistics_equals_individual_queries(self):
+        oracle, _, _ = paper_oracle()
+        mask = (1 << 1) | (1 << 2)
+        stats = oracle.statistics(mask)
+        assert stats.signal_probability == pytest.approx(
+            oracle.signal_probability(mask)
+        )
+        assert stats.transition_probability == pytest.approx(
+            oracle.transition_probability(mask)
+        )

@@ -1,0 +1,93 @@
+"""Property-based tests: the table-driven oracle vs brute-force scan.
+
+The paper's section-3.3 claim is that IFT + IMATT, built by a single
+pass over the trace, answer any ``P(EN)`` / ``P_tr(EN)`` query exactly
+as a full rescan would.  Hypothesis draws random ISAs, streams and
+module subsets and checks the identity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import InstructionSet
+from repro.activity.probability import scan_stream_probabilities
+
+
+@st.composite
+def isa_stream_mask(draw):
+    num_modules = draw(st.integers(min_value=1, max_value=12))
+    num_instructions = draw(st.integers(min_value=2, max_value=6))
+    usage = [
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=num_modules - 1),
+                min_size=1,
+                max_size=num_modules,
+            )
+        )
+        for _ in range(num_instructions)
+    ]
+    isa = InstructionSet.from_usage_lists(usage, num_modules=num_modules)
+    length = draw(st.integers(min_value=2, max_value=60))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_instructions - 1),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    mask = draw(st.integers(min_value=0, max_value=(1 << num_modules) - 1))
+    return isa, InstructionStream(ids=np.array(ids)), mask
+
+
+class TestTableEqualsScan:
+    @given(isa_stream_mask())
+    @settings(max_examples=200)
+    def test_signal_probability_matches(self, data):
+        isa, stream, mask = data
+        oracle = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        p_scan, _ = scan_stream_probabilities(isa, stream, mask)
+        assert abs(oracle.signal_probability(mask) - p_scan) < 1e-9
+
+    @given(isa_stream_mask())
+    @settings(max_examples=200)
+    def test_transition_probability_matches(self, data):
+        isa, stream, mask = data
+        oracle = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        _, ptr_scan = scan_stream_probabilities(isa, stream, mask)
+        assert abs(oracle.transition_probability(mask) - ptr_scan) < 1e-9
+
+
+class TestProbabilityInvariants:
+    @given(isa_stream_mask())
+    @settings(max_examples=150)
+    def test_probabilities_in_unit_interval(self, data):
+        isa, stream, mask = data
+        oracle = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        stats = oracle.statistics(mask)
+        assert 0.0 <= stats.signal_probability <= 1.0
+        assert 0.0 <= stats.transition_probability <= 1.0
+
+    @given(isa_stream_mask())
+    @settings(max_examples=150)
+    def test_transition_bound(self, data):
+        # P_tr <= 2 * min(P, 1-P) * B/(B-1): each 0->1 toggle consumes
+        # a 0 cycle and a 1 cycle (finite-stream corrected bound).
+        isa, stream, mask = data
+        oracle = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        stats = oracle.statistics(mask)
+        slack = len(stream) / (len(stream) - 1)
+        bound = 2 * min(stats.signal_probability, 1 - stats.signal_probability)
+        assert stats.transition_probability <= bound * slack + 1e-9
+
+    @given(isa_stream_mask(), st.integers(min_value=0, max_value=(1 << 12) - 1))
+    @settings(max_examples=150)
+    def test_union_monotone(self, data, extra_mask):
+        isa, stream, mask = data
+        extra_mask &= (1 << isa.num_modules) - 1
+        oracle = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        p_small = oracle.signal_probability(mask)
+        p_union = oracle.signal_probability(mask | extra_mask)
+        assert p_union >= p_small - 1e-12

@@ -1,0 +1,86 @@
+"""Unit tests for IFT / IMATT construction."""
+
+import numpy as np
+import pytest
+
+from repro.activity import ActivityTables, InstructionStream, MarkovStreamModel
+from repro.activity.isa import paper_example_isa, paper_example_stream
+
+
+def paper_tables():
+    isa = paper_example_isa()
+    stream = InstructionStream(ids=np.array(paper_example_stream()))
+    return ActivityTables.from_stream(isa, stream)
+
+
+class TestFromStream:
+    def test_ift_is_distribution(self):
+        tables = paper_tables()
+        assert tables.ift.sum() == pytest.approx(1.0)
+        assert (tables.ift >= 0).all()
+
+    def test_ift_paper_values(self):
+        # Reconstruction: I1 x9, I2 x6, I3 x2, I4 x3 over 20 cycles.
+        tables = paper_tables()
+        assert tables.ift == pytest.approx([0.45, 0.30, 0.10, 0.15])
+
+    def test_imatt_is_distribution(self):
+        tables = paper_tables()
+        assert tables.pair_prob.sum() == pytest.approx(1.0)
+        assert (tables.pair_prob >= 0).all()
+
+    def test_imatt_counts_pairs(self):
+        # 19 consecutive pairs; each entry is a multiple of 1/19.
+        tables = paper_tables()
+        counts = tables.pair_prob * 19
+        assert counts == pytest.approx(np.round(counts), abs=1e-9)
+
+    def test_single_cycle_stream(self):
+        isa = paper_example_isa()
+        tables = ActivityTables.from_stream(
+            isa, InstructionStream(ids=np.array([2]))
+        )
+        assert tables.ift[2] == 1.0
+        assert tables.pair_prob[2, 2] == 1.0
+
+    def test_validation_rejects_mismatched_shapes(self):
+        isa = paper_example_isa()
+        with pytest.raises(ValueError):
+            ActivityTables(isa=isa, ift=np.ones(3) / 3, pair_prob=np.ones((4, 4)) / 16)
+        with pytest.raises(ValueError):
+            ActivityTables(isa=isa, ift=np.ones(4), pair_prob=np.ones((4, 4)) / 16)
+
+
+class TestFromMarkov:
+    def test_matches_long_stream(self):
+        isa = paper_example_isa()
+        model = MarkovStreamModel.from_locality([0.4, 0.3, 0.2, 0.1], locality=0.5)
+        analytic = ActivityTables.from_markov(isa, model)
+        stream = model.generate(200000, np.random.default_rng(7))
+        empirical = ActivityTables.from_stream(isa, stream)
+        assert empirical.ift == pytest.approx(analytic.ift, abs=0.01)
+        assert empirical.pair_prob == pytest.approx(analytic.pair_prob, abs=0.01)
+
+    def test_rejects_size_mismatch(self):
+        isa = paper_example_isa()
+        model = MarkovStreamModel.from_locality([0.5, 0.5], locality=0.0)
+        with pytest.raises(ValueError):
+            ActivityTables.from_markov(isa, model)
+
+
+class TestModuleActivity:
+    def test_module_activity_paper_m1(self):
+        # P(M1) = IFT(I1) + IFT(I2) = 0.75.
+        tables = paper_tables()
+        assert tables.module_activity(0) == pytest.approx(0.75)
+
+    def test_module_activity_unused_module(self):
+        tables = paper_tables()
+        # All six modules are used by some instruction; extend mask
+        # beyond the universe and expect 0.
+        assert tables.module_activity(40) == 0.0
+
+    def test_average_module_activity(self):
+        tables = paper_tables()
+        expected = np.mean([tables.module_activity(j) for j in range(6)])
+        assert tables.average_module_activity() == pytest.approx(expected)

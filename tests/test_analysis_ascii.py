@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.ascii import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        # The larger value fills the width.
+        assert "#" * 10 in lines[2]
+
+    def test_proportional_lengths(self):
+        chart = bar_chart(["x", "y"], [5.0, 10.0], width=20)
+        row_x, row_y = chart.splitlines()
+        assert row_x.count("#") == 10
+        assert row_y.count("#") == 20
+
+    def test_zero_value_gets_no_bar(self):
+        chart = bar_chart(["z", "w"], [0.0, 4.0], width=8)
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_unit_suffix(self):
+        assert "pF" in bar_chart(["a"], [3.0], unit=" pF")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestLineChart:
+    def test_render_shape(self):
+        pts = [(0, 0), (1, 1), (2, 4), (3, 9)]
+        chart = line_chart(pts, width=20, height=6, title="sq")
+        lines = chart.splitlines()
+        assert lines[0] == "sq"
+        # title + y-max label + grid rows + x-axis + x-range line.
+        assert len(lines) == 1 + 1 + 6 + 1 + 1
+        assert chart.count("*") >= 3  # distinct cells hit
+
+    def test_extremes_plotted_at_corners(self):
+        chart = line_chart([(0, 0), (10, 5)], width=10, height=4)
+        grid_lines = [l for l in chart.splitlines() if l.startswith("|")]
+        assert grid_lines[0].rstrip().endswith("*")  # max y at right
+        assert grid_lines[-1][1] == "*"  # min y at left
+
+    def test_flat_series_ok(self):
+        chart = line_chart([(0, 2), (1, 2), (2, 2)], width=10, height=4)
+        assert chart.count("*") >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([(0, 0)])
+        with pytest.raises(ValueError):
+            line_chart([(0, 0), (1, 1)], width=1)

@@ -1,0 +1,106 @@
+"""Unit/property tests for the wirelength references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.wirelength import (
+    half_perimeter_lower_bound,
+    rectilinear_mst_edges,
+    rectilinear_mst_length,
+    wirelength_quality,
+)
+from repro.cts import BottomUpMerger, Sink
+from repro.geometry import Point
+from repro.tech import unit_technology
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False)
+
+
+@st.composite
+def point_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    return [Point(draw(coords), draw(coords)) for _ in range(n)]
+
+
+class TestMst:
+    def test_two_points(self):
+        assert rectilinear_mst_length([Point(0, 0), Point(3, 4)]) == 7.0
+
+    def test_collinear_chain(self):
+        pts = [Point(10.0 * i, 0) for i in range(5)]
+        assert rectilinear_mst_length(pts) == pytest.approx(40.0)
+
+    def test_square(self):
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        assert rectilinear_mst_length(pts) == pytest.approx(30.0)
+
+    def test_single_point(self):
+        assert rectilinear_mst_length([Point(5, 5)]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rectilinear_mst_length([])
+
+    def test_edges_span_all_points(self):
+        rng = np.random.default_rng(0)
+        pts = [Point(x, y) for x, y in rng.uniform(0, 100, (12, 2))]
+        edges = rectilinear_mst_edges(pts)
+        assert len(edges) == 11
+        # Union-find connectivity check.
+        parent = list(range(12))
+
+        def find(i):
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        assert len({find(i) for i in range(12)}) == 1
+
+    def test_edge_lengths_sum_to_mst_length(self):
+        rng = np.random.default_rng(1)
+        pts = [Point(x, y) for x, y in rng.uniform(0, 100, (15, 2))]
+        edges = rectilinear_mst_edges(pts)
+        total = sum(pts[a].manhattan_to(pts[b]) for a, b in edges)
+        assert total == pytest.approx(rectilinear_mst_length(pts))
+
+    @given(point_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_mst_at_least_half_perimeter_over_2(self, pts):
+        # Any spanning structure reaches the bounding box extremes;
+        # the MST is at least half the half-perimeter.
+        sinks = [Sink("s%d" % i, p, 1.0, i) for i, p in enumerate(pts)]
+        hpwl = half_perimeter_lower_bound(sinks)
+        assert rectilinear_mst_length(pts) >= hpwl / 2.0 - 1e-6
+
+    @given(point_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_mst_invariant_under_permutation(self, pts):
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(pts))
+        shuffled = [pts[i] for i in order]
+        assert rectilinear_mst_length(shuffled) == pytest.approx(
+            rectilinear_mst_length(pts), rel=1e-9
+        )
+
+
+class TestQuality:
+    def test_zero_skew_tree_quality_in_band(self):
+        rng = np.random.default_rng(2)
+        sinks = [
+            Sink("s%d" % i, Point(x, y), 1.0, i)
+            for i, (x, y) in enumerate(rng.uniform(0, 500, (30, 2)))
+        ]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        quality = wirelength_quality(tree)
+        assert 1.0 <= quality < 3.0
+
+    def test_single_sink_quality(self):
+        tree = BottomUpMerger(
+            [Sink("a", Point(1, 1), 1.0, 0)], unit_technology()
+        ).run()
+        assert wirelength_quality(tree) == 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for synthetic sink benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sinks import R_BENCHMARK_SIZES, SinkGenerator, generate_sinks
+
+
+class TestSizes:
+    def test_paper_sink_counts(self):
+        # Tsay's r1-r5.
+        assert R_BENCHMARK_SIZES == {
+            "r1": 267,
+            "r2": 598,
+            "r3": 862,
+            "r4": 1903,
+            "r5": 3101,
+        }
+
+    def test_scale(self):
+        assert generate_sinks("r1", scale=1.0).num_sinks == 267
+        assert generate_sinks("r1", scale=0.1).num_sinks == 27
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            generate_sinks("r1", scale=0.0)
+        with pytest.raises(ValueError):
+            generate_sinks("r1", scale=1.5)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            generate_sinks("r9")
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_sinks("r1", scale=0.1).generate()
+        b = generate_sinks("r1", scale=0.1).generate()
+        assert [(s.location.x, s.location.y, s.load_cap) for s in a] == [
+            (s.location.x, s.location.y, s.load_cap) for s in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = SinkGenerator(num_sinks=20, seed=1).generate()
+        b = SinkGenerator(num_sinks=20, seed=2).generate()
+        assert a[0].location != b[0].location
+
+    def test_sinks_inside_die(self):
+        gen = generate_sinks("r2", scale=0.2)
+        die = gen.die()
+        for sink in gen.generate():
+            assert die.x0 <= sink.location.x <= die.x1
+            assert die.y0 <= sink.location.y <= die.y1
+
+    def test_modules_are_dense(self):
+        sinks = generate_sinks("r1", scale=0.2).generate()
+        assert sorted(s.module for s in sinks) == list(range(len(sinks)))
+
+    def test_positive_load_caps(self):
+        assert all(s.load_cap > 0 for s in generate_sinks("r1", scale=0.2).generate())
+
+    def test_die_side_shared_across_benchmarks(self):
+        # One die-size family: see the module docstring.
+        sides = {
+            generate_sinks(name, scale=0.5).resolved_die_side()
+            for name in R_BENCHMARK_SIZES
+        }
+        assert len(sides) == 1
+
+    def test_explicit_die_side(self):
+        gen = SinkGenerator(num_sinks=10, die_side=1234.0)
+        assert gen.resolved_die_side() == 1234.0
+
+
+class TestClusteredGeneration:
+    def test_members_near_their_center(self):
+        gen = SinkGenerator(num_sinks=60, seed=3)
+        cluster_of = np.arange(60) % 6
+        sinks = gen.generate_clustered(cluster_of, spread=0.02)
+        side = gen.resolved_die_side()
+        # Within-cluster spread is much smaller than the die.
+        for c in range(6):
+            xs = [s.location.x for s in sinks if cluster_of[s.module] == c]
+            assert max(xs) - min(xs) < 0.4 * side
+
+    def test_rejects_wrong_assignment_length(self):
+        gen = SinkGenerator(num_sinks=10, seed=0)
+        with pytest.raises(ValueError):
+            gen.generate_clustered(np.arange(5))
+
+    def test_rejects_nonpositive_spread(self):
+        gen = SinkGenerator(num_sinks=10, seed=0)
+        with pytest.raises(ValueError):
+            gen.generate_clustered(np.arange(10), spread=0.0)
+
+    def test_clustered_points_clipped_to_die(self):
+        gen = SinkGenerator(num_sinks=40, seed=4)
+        sinks = gen.generate_clustered(np.arange(40) % 4, spread=0.5)
+        die = gen.die()
+        for sink in sinks:
+            assert die.x0 <= sink.location.x <= die.x1
+            assert die.y0 <= sink.location.y <= die.y1

@@ -1,0 +1,78 @@
+"""Unit tests for the assembled benchmark suite."""
+
+import pytest
+
+from repro.bench.suite import (
+    BenchmarkCase,
+    bench_scale,
+    benchmark_names,
+    load_benchmark,
+)
+
+
+class TestNames:
+    def test_ordered_smallest_first(self):
+        assert benchmark_names() == ["r1", "r2", "r3", "r4", "r5"]
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(0.3) == 0.3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.75")
+        assert bench_scale() == 0.75
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestLoadBenchmark:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return load_benchmark("r1", scale=0.15)
+
+    def test_counts(self, case):
+        assert case.num_sinks == 40
+        assert len(case.cpu.isa) == 16
+        assert len(case.stream) == 10000
+
+    def test_characteristics_row(self, case):
+        row = case.characteristics()
+        assert row["sinks"] == 40
+        assert row["instructions"] == 16
+        assert row["stream_cycles"] == 10000
+        # Paper Table 4: about 40% of modules used per instruction.
+        assert row["ave_modules_per_instruction"] == pytest.approx(0.4, abs=0.15)
+
+    def test_oracle_consistent_with_tables(self, case):
+        mask = 0b11
+        assert case.oracle.signal_probability(mask) <= 1.0
+        assert case.oracle.tables is case.tables
+
+    def test_sinks_inside_die(self, case):
+        for sink in case.sinks:
+            assert case.die.x0 <= sink.location.x <= case.die.x1
+            assert case.die.y0 <= sink.location.y <= case.die.y1
+
+    def test_placement_spread_none_gives_uniform(self):
+        clustered = load_benchmark("r1", scale=0.15)
+        uniform = load_benchmark("r1", scale=0.15, placement_spread=None)
+        assert clustered.sinks[0].location != uniform.sinks[0].location
+
+    def test_activity_knob(self):
+        low = load_benchmark("r1", scale=0.1, target_activity=0.1)
+        high = load_benchmark("r1", scale=0.1, target_activity=0.7)
+        assert (
+            low.tables.average_module_activity()
+            < high.tables.average_module_activity()
+        )
+
+    def test_deterministic(self):
+        a = load_benchmark("r2", scale=0.05)
+        b = load_benchmark("r2", scale=0.05)
+        assert (a.stream.ids == b.stream.ids).all()
+        assert a.sinks[0].location == b.sinks[0].location

@@ -1,0 +1,179 @@
+"""Unit tests for controller layouts and enable star routing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (
+    ControllerLayout,
+    Die,
+    expected_star_wirelength,
+    gate_location,
+    route_enables,
+)
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.dme import GateEveryEdgePolicy
+from repro.geometry import Point
+from repro.tech import unit_technology
+
+
+def rng_sinks(n, seed=0, span=100.0):
+    rng = np.random.default_rng(seed)
+    return [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=1.0, module=i)
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, span, n), rng.uniform(0, span, n))
+        )
+    ]
+
+
+def gated_tree(n=14, seed=2):
+    return BottomUpMerger(
+        rng_sinks(n, seed=seed), unit_technology(), cell_policy=GateEveryEdgePolicy()
+    ).run()
+
+
+class TestDie:
+    def test_dimensions(self):
+        die = Die(0, 0, 10, 20)
+        assert die.width == 10
+        assert die.height == 20
+        assert die.center == Point(5, 10)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Die(5, 0, 0, 10)
+
+    def test_bounding(self):
+        die = Die.bounding([Point(1, 2), Point(-3, 9), Point(4, 0)])
+        assert (die.x0, die.y0, die.x1, die.y1) == (-3, 0, 4, 9)
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Die.bounding([])
+
+
+class TestLayouts:
+    def test_centralized_at_center(self):
+        die = Die(0, 0, 100, 100)
+        layout = ControllerLayout.centralized(die)
+        assert layout.count == 1
+        assert layout.points[0] == Point(50, 50)
+
+    def test_distributed_grid_counts(self):
+        die = Die(0, 0, 100, 100)
+        for k in (1, 2, 4, 8, 16):
+            assert ControllerLayout.distributed(die, k).count == k
+
+    def test_distributed_rejects_non_power_of_two(self):
+        die = Die(0, 0, 100, 100)
+        with pytest.raises(ValueError):
+            ControllerLayout.distributed(die, 3)
+        with pytest.raises(ValueError):
+            ControllerLayout.distributed(die, 0)
+
+    def test_four_controllers_at_quadrant_centers(self):
+        die = Die(0, 0, 100, 100)
+        layout = ControllerLayout.distributed(die, 4)
+        expected = {(25.0, 25.0), (75.0, 25.0), (25.0, 75.0), (75.0, 75.0)}
+        assert {(p.x, p.y) for p in layout.points} == expected
+
+    def test_controller_for_picks_own_partition(self):
+        die = Die(0, 0, 100, 100)
+        layout = ControllerLayout.distributed(die, 4)
+        index, ctrl = layout.controller_for(Point(10, 10))
+        assert ctrl == Point(25, 25)
+        index, ctrl = layout.controller_for(Point(90, 90))
+        assert ctrl == Point(75, 75)
+
+    def test_controller_for_clamps_outside_points(self):
+        die = Die(0, 0, 100, 100)
+        layout = ControllerLayout.distributed(die, 4)
+        index, ctrl = layout.controller_for(Point(-50, -50))
+        assert ctrl == Point(25, 25)
+
+    def test_nearest_partition_minimizes_length(self):
+        die = Die(0, 0, 100, 100)
+        layout = ControllerLayout.distributed(die, 16)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            _, ctrl = layout.controller_for(p)
+            best = min(p.manhattan_to(c) for c in layout.points)
+            assert p.manhattan_to(ctrl) == pytest.approx(best)
+
+
+class TestGateLocation:
+    def test_gate_sits_at_parent(self):
+        tree = gated_tree()
+        for node in tree.gates():
+            parent = tree.node(node.parent)
+            assert gate_location(tree, node) == parent.location
+
+    def test_root_has_no_gate_location(self):
+        tree = gated_tree()
+        with pytest.raises(ValueError):
+            gate_location(tree, tree.root)
+
+
+class TestRouteEnables:
+    def test_routes_every_gate(self):
+        tree = gated_tree()
+        layout = ControllerLayout.centralized(Die(0, 0, 100, 100))
+        routing = route_enables(tree, layout, tree.tech)
+        assert routing.gate_count == tree.gate_count()
+
+    def test_switched_cap_formula(self):
+        # W(S) = sum (c*len + C_g) * P_tr; with all P_tr = 0 it's 0.
+        tree = gated_tree()
+        layout = ControllerLayout.centralized(Die(0, 0, 100, 100))
+        routing = route_enables(tree, layout, tree.tech)
+        assert routing.switched_cap == 0.0  # no oracle: Ptr = 0 everywhere
+        assert routing.wirelength > 0.0
+
+    def test_star_lengths_are_manhattan(self):
+        tree = gated_tree()
+        die = Die(0, 0, 100, 100)
+        layout = ControllerLayout.centralized(die)
+        routing = route_enables(tree, layout, tree.tech)
+        for route in routing.routes:
+            node = tree.node(route.node_id)
+            pin = gate_location(tree, node)
+            assert route.length == pytest.approx(pin.manhattan_to(die.center))
+
+    def test_distributed_never_longer_than_centralized(self):
+        tree = gated_tree(n=30, seed=4)
+        die = Die(0, 0, 100, 100)
+        central = route_enables(tree, ControllerLayout.centralized(die), tree.tech)
+        spread = route_enables(
+            tree, ControllerLayout.distributed(die, 16), tree.tech
+        )
+        assert spread.wirelength <= central.wirelength + 1e-9
+
+    def test_ungated_tree_has_empty_routing(self):
+        tree = BottomUpMerger(rng_sinks(6), unit_technology()).run()
+        layout = ControllerLayout.centralized(Die(0, 0, 100, 100))
+        routing = route_enables(tree, layout, tree.tech)
+        assert routing.gate_count == 0
+        assert routing.wirelength == 0.0
+
+
+class TestAnalyticStarModel:
+    def test_section6_formula(self):
+        # G * D / (4 sqrt(k)).
+        assert expected_star_wirelength(100.0, 10, 1) == pytest.approx(250.0)
+        assert expected_star_wirelength(100.0, 10, 4) == pytest.approx(125.0)
+
+    def test_scaling_in_k(self):
+        base = expected_star_wirelength(100.0, 64, 1)
+        for k in (4, 16, 64):
+            assert expected_star_wirelength(100.0, 64, k) == pytest.approx(
+                base / math.sqrt(k)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_star_wirelength(-1.0, 10, 1)
+        with pytest.raises(ValueError):
+            expected_star_wirelength(10.0, 10, 0)

@@ -1,0 +1,94 @@
+"""Unit tests for the controller's OR-logic model."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.core.controller_logic import synthesize_controller_logic
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.tech import date98_technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return date98_technology()
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_benchmark("r1", scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def fully_gated(case, tech):
+    return route_gated(case.sinks, tech, case.oracle, die=case.die)
+
+
+@pytest.fixture(scope="module")
+def reduced(case, tech):
+    return route_gated(
+        case.sinks,
+        tech,
+        case.oracle,
+        die=case.die,
+        reduction=GateReductionPolicy.from_knob(0.5, tech),
+    )
+
+
+class TestFullyGatedLogic:
+    def test_one_term_per_gate(self, fully_gated, tech):
+        logic = synthesize_controller_logic(fully_gated.tree, tech)
+        assert logic.enable_count == fully_gated.gate_count
+
+    def test_internal_terms_are_two_input_ors(self, fully_gated, tech):
+        # Fully gated full-binary tree: every internal enable ORs its
+        # two gated children, every leaf enable is one module line.
+        logic = synthesize_controller_logic(fully_gated.tree, tech)
+        tree = fully_gated.tree
+        for term in logic.terms:
+            node = tree.node(term.node_id)
+            assert term.fan_in == (1 if node.is_sink else 2)
+
+    def test_or_count_fully_gated(self, fully_gated, tech):
+        # N-1 internal gates, each needing exactly one 2-input OR.
+        logic = synthesize_controller_logic(fully_gated.tree, tech)
+        n = len(fully_gated.tree.sinks())
+        assert logic.or_gate_count == n - 2  # root edge is absent
+
+    def test_every_module_line_consumed(self, case, fully_gated, tech):
+        logic = synthesize_controller_logic(fully_gated.tree, tech)
+        assert logic.module_lines == case.num_sinks
+
+
+class TestReducedLogic:
+    def test_fewer_enables_than_full(self, fully_gated, reduced, tech):
+        full = synthesize_controller_logic(fully_gated.tree, tech)
+        less = synthesize_controller_logic(reduced.tree, tech)
+        assert less.enable_count < full.enable_count
+
+    def test_fan_in_covers_whole_subtrees(self, reduced, tech):
+        # Each kept gate must still see every module below it, through
+        # gated descendants or raw module lines.
+        from repro.activity.isa import mask_to_modules
+
+        logic = synthesize_controller_logic(reduced.tree, tech)
+        tree = reduced.tree
+        for term in logic.terms:
+            node = tree.node(term.node_id)
+            modules_below = len(mask_to_modules(node.module_mask))
+            # Fan-in cannot exceed the number of module lines below.
+            assert 1 <= term.fan_in <= modules_below
+
+    def test_area_and_cap_scale_with_gates(self, fully_gated, reduced, tech):
+        full = synthesize_controller_logic(fully_gated.tree, tech)
+        less = synthesize_controller_logic(reduced.tree, tech)
+        assert less.area < full.area or less.or_gate_count <= full.or_gate_count
+        assert full.switched_cap > 0
+        assert less.switched_cap >= 0
+
+    def test_custom_or_gate(self, reduced, tech):
+        big = tech.masking_gate.scaled(4.0)
+        logic_small = synthesize_controller_logic(reduced.tree, tech)
+        logic_big = synthesize_controller_logic(reduced.tree, tech, or_gate=big)
+        assert logic_big.area > logic_small.area
+        assert logic_big.or_gate_count == logic_small.or_gate_count

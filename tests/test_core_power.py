@@ -1,0 +1,69 @@
+"""Unit tests for switched-capacitance-to-power conversion."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.core.power import (
+    DATE98_OPERATING_POINT,
+    OperatingPoint,
+    power_report,
+    switched_cap_to_watts,
+)
+from repro.tech import date98_technology
+
+
+class TestConversion:
+    def test_hand_computed(self):
+        # 100 pF at 100 MHz, 2 V: 100e-12 * 1e8 * 4 / 2 = 0.02 W.
+        point = OperatingPoint(frequency_hz=1e8, vdd=2.0)
+        assert switched_cap_to_watts(100.0, point) == pytest.approx(0.02)
+
+    def test_linear_in_cap_and_frequency(self):
+        point = OperatingPoint(frequency_hz=1e8, vdd=2.0)
+        double_f = OperatingPoint(frequency_hz=2e8, vdd=2.0)
+        assert switched_cap_to_watts(2.0, point) == pytest.approx(
+            2 * switched_cap_to_watts(1.0, point)
+        )
+        assert switched_cap_to_watts(1.0, double_f) == pytest.approx(
+            2 * switched_cap_to_watts(1.0, point)
+        )
+
+    def test_quadratic_in_vdd(self):
+        low = OperatingPoint(frequency_hz=1e8, vdd=1.0)
+        high = OperatingPoint(frequency_hz=1e8, vdd=2.0)
+        assert switched_cap_to_watts(1.0, high) == pytest.approx(
+            4 * switched_cap_to_watts(1.0, low)
+        )
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            switched_cap_to_watts(-1.0)
+
+    def test_rejects_bad_operating_point(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(frequency_hz=0.0, vdd=3.3)
+        with pytest.raises(ValueError):
+            OperatingPoint(frequency_hz=1e8, vdd=-1.0)
+
+
+class TestPowerReport:
+    def test_report_components(self):
+        case = load_benchmark("r1", scale=0.08)
+        tech = date98_technology()
+        result = route_gated(case.sinks, tech, case.oracle, die=case.die)
+        report = power_report(result)
+        assert report.clock_tree == pytest.approx(
+            switched_cap_to_watts(result.switched_cap.clock_tree)
+        )
+        assert report.total == pytest.approx(
+            report.clock_tree + report.controller_tree
+        )
+        assert report.total_milliwatts == pytest.approx(report.total * 1e3)
+        # A few-hundred-pF clock network at 200 MHz/3.3 V lands in the
+        # tens-of-mW range -- the paper-era ballpark.
+        assert 0.1 < report.total_milliwatts < 1000.0
+
+    def test_default_operating_point(self):
+        assert DATE98_OPERATING_POINT.frequency_hz == 200e6
+        assert DATE98_OPERATING_POINT.vdd == 3.3

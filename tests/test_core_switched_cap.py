@@ -1,0 +1,191 @@
+"""Unit tests for the switched-capacitance accounting."""
+
+import numpy as np
+import pytest
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import InstructionSet
+from repro.core.switched_cap import (
+    clock_tree_switched_cap,
+    effective_enable_probabilities,
+    masking_efficiency,
+    ungated_clock_tree_switched_cap,
+)
+from repro.cts import BottomUpMerger, ClockTree, Sink
+from repro.cts.dme import BufferEveryEdgePolicy, GateEveryEdgePolicy
+from repro.geometry import Point, Trr
+from repro.tech import unit_technology
+
+
+def oracle_constant(num_modules, active_prob_bits):
+    """Two instructions: all modules vs none (plus a pad module)."""
+    isa = InstructionSet.from_usage_lists(
+        [set(range(num_modules)) | {num_modules}, {num_modules}],
+        num_modules=num_modules + 1,
+    )
+    ids = np.array(active_prob_bits)
+    return ActivityOracle(ActivityTables.from_stream(isa, InstructionStream(ids=ids)))
+
+
+def rng_sinks(n, seed=0, span=100.0):
+    rng = np.random.default_rng(seed)
+    return [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=1.0, module=i)
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, span, n), rng.uniform(0, span, n))
+        )
+    ]
+
+
+class TestEffectiveProbabilities:
+    def test_root_is_always_on(self):
+        tree = BottomUpMerger(rng_sinks(5), unit_technology()).run()
+        eff = effective_enable_probabilities(tree)
+        assert eff[tree.root_id] == 1.0
+
+    def test_ungated_inherits_parent(self):
+        tree = BottomUpMerger(rng_sinks(8, seed=1), unit_technology()).run()
+        eff = effective_enable_probabilities(tree)
+        assert all(p == 1.0 for p in eff.values())
+
+    def test_gated_edge_uses_own_probability(self):
+        oracle = oracle_constant(6, [0, 1, 0, 1])
+        tree = BottomUpMerger(
+            rng_sinks(6, seed=2),
+            unit_technology(),
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        ).run()
+        eff = effective_enable_probabilities(tree)
+        for node in tree.edges():
+            assert eff[node.id] == pytest.approx(0.5)
+
+    def test_mixed_tree_inheritance(self):
+        # Hand-built: root -> internal (gated, P=0.25) -> two leaves
+        # (ungated): the leaves must inherit 0.25.
+        tech = unit_technology()
+        tree = ClockTree(tech)
+        a = tree.add_leaf(Sink("a", Point(0, 0), 1.0, 0))
+        b = tree.add_leaf(Sink("b", Point(4, 0), 1.0, 1))
+        mid = tree.add_internal(a.id, b.id, Trr.from_point(Point(2, 0)))
+        c = tree.add_leaf(Sink("c", Point(2, 10), 1.0, 2))
+        root = tree.add_internal(mid.id, c.id, Trr.from_point(Point(2, 5)))
+        tree.set_root(root.id)
+        mid.edge_cell = tech.masking_gate
+        mid.edge_maskable = True
+        mid.enable_probability = 0.25
+        eff = effective_enable_probabilities(tree)
+        assert eff[mid.id] == 0.25
+        assert eff[a.id] == 0.25
+        assert eff[b.id] == 0.25
+        assert eff[c.id] == 1.0
+
+
+class TestClockTreeSwitchedCap:
+    def test_hand_computed_two_sink_tree(self):
+        # Two sinks 10 apart, load 1 each, plain wires, unit RC, a_clk 2.
+        # Edges 5+5; each edge cap = 5*1 + 1 = 6 -> W = 2 * 12 = 24.
+        tree = BottomUpMerger(
+            [
+                Sink("a", Point(0, 0), 1.0, 0),
+                Sink("b", Point(10, 0), 1.0, 1),
+            ],
+            unit_technology(),
+        ).run()
+        assert clock_tree_switched_cap(tree, tree.tech) == pytest.approx(24.0)
+
+    def test_buffered_tree_counts_buffer_pins(self):
+        tech = unit_technology()
+        sinks = [
+            Sink("a", Point(0, 0), 1.0, 0),
+            Sink("b", Point(10, 0), 1.0, 1),
+        ]
+        plain = BottomUpMerger(sinks, tech).run()
+        buffered = BottomUpMerger(
+            sinks, tech, cell_policy=BufferEveryEdgePolicy()
+        ).run()
+        w_plain = clock_tree_switched_cap(plain, tech)
+        w_buf = clock_tree_switched_cap(buffered, tech)
+        # The buffered tree adds two buffer input pins at the root
+        # (2 * 0.5 pF * a_clk = 2) and decouples wire loads.
+        assert w_buf != w_plain
+        assert w_buf == pytest.approx(
+            2 * (tech.buffer.input_cap * 2 + (5 + 1) + (5 + 1))
+        )
+
+    def test_always_on_gated_equals_ungated(self):
+        oracle = oracle_constant(8, [0, 0, 0, 0])  # every module always on
+        tree = BottomUpMerger(
+            rng_sinks(8, seed=3),
+            unit_technology(),
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        ).run()
+        assert clock_tree_switched_cap(tree, tree.tech) == pytest.approx(
+            ungated_clock_tree_switched_cap(tree, tree.tech)
+        )
+
+    def test_half_active_masks_half_of_gated_caps(self):
+        oracle = oracle_constant(8, [0, 1, 0, 1, 0, 1])
+        tree = BottomUpMerger(
+            rng_sinks(8, seed=3),
+            unit_technology(),
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        ).run()
+        w = clock_tree_switched_cap(tree, tree.tech)
+        ungated = ungated_clock_tree_switched_cap(tree, tree.tech)
+        # All enables are the same 0.5 signal; only the root-attached
+        # pins stay always-on.
+        tech = tree.tech
+        root_pins = 2 * tech.masking_gate.input_cap * tech.clock_transitions_per_cycle
+        assert w == pytest.approx(0.5 * (ungated - root_pins) + root_pins)
+
+    def test_masking_efficiency_bounds(self):
+        oracle = oracle_constant(10, [0, 1, 1, 0, 1])
+        tree = BottomUpMerger(
+            rng_sinks(10, seed=4),
+            unit_technology(),
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        ).run()
+        eff = masking_efficiency(tree, tree.tech)
+        assert 0.0 < eff <= 1.0
+
+    def test_ungated_tree_efficiency_is_one(self):
+        tree = BottomUpMerger(rng_sinks(6, seed=5), unit_technology()).run()
+        assert masking_efficiency(tree, tree.tech) == pytest.approx(1.0)
+
+    def test_no_double_counting_with_partial_gating(self):
+        # Manually gate only the root's children; total W must equal
+        # the per-edge sum computed independently.
+        tech = unit_technology()
+        oracle = oracle_constant(8, [0, 1, 0, 1])
+        tree = BottomUpMerger(
+            rng_sinks(8, seed=6),
+            tech,
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+        ).run()
+        # Strip gates from every leaf edge.
+        for node in tree.sinks():
+            node.edge_cell = None
+            node.edge_maskable = False
+        eff = effective_enable_probabilities(tree)
+        expected = 0.0
+        root = tree.root_id
+        for node in tree.nodes():
+            attached = (
+                node.sink.load_cap
+                if node.is_sink
+                else sum(
+                    tree.node(c).edge_cell.input_cap
+                    for c in node.children
+                    if tree.node(c).edge_cell is not None
+                )
+            )
+            wire = 0.0 if node.id == root else tech.wire_cap(node.edge_length)
+            expected += tech.clock_transitions_per_cycle * eff[node.id] * (
+                wire + attached
+            )
+        assert clock_tree_switched_cap(tree, tech) == pytest.approx(expected)

@@ -1,0 +1,162 @@
+"""Unit and property tests for bounded-skew routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.bounded import SkewBoundError, bounded_skew_split
+from repro.cts.dme import GateEveryEdgePolicy
+from repro.cts.merge import Tap, zero_skew_split
+from repro.geometry import Point
+from repro.tech import unit_technology
+
+
+def rng_sinks(n, seed=0, span=100.0, cap_spread=True):
+    rng = np.random.default_rng(seed)
+    caps = rng.uniform(0.5, 3.0, n) if cap_spread else np.ones(n)
+    return [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=float(caps[i]), module=i)
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0, span, n), rng.uniform(0, span, n))
+        )
+    ]
+
+
+class TestSplit:
+    def test_zero_bound_equals_zero_skew(self):
+        tech = unit_technology()
+        a = Tap(cap=3.0, delay=5.0)
+        b = Tap(cap=1.0, delay=0.0)
+        exact = zero_skew_split(10.0, a, b, tech)
+        bounded = bounded_skew_split(10.0, a, 5.0, b, 0.0, 0.0, tech)
+        assert bounded.length_a == pytest.approx(exact.length_a)
+        assert bounded.length_b == pytest.approx(exact.length_b)
+
+    def test_balanced_merge_within_budget(self):
+        tech = unit_technology()
+        tap = Tap(cap=1.0, delay=0.0)
+        split = bounded_skew_split(10.0, tap, 0.0, tap, 0.0, 2.0, tech)
+        assert split.snaked is None
+        assert split.delay - split.earliest_delay <= 2.0 + 1e-9
+
+    def test_budget_absorbs_small_imbalance_without_snaking(self):
+        # Zero skew would snake here; a generous bound must not.
+        tech = unit_technology()
+        slow = Tap(cap=1.0, delay=30.0)
+        fast = Tap(cap=1.0, delay=0.0)
+        exact = zero_skew_split(2.0, slow, fast, tech)
+        assert exact.snaked is not None
+        bounded = bounded_skew_split(2.0, slow, 30.0, fast, 0.0, 50.0, tech)
+        assert bounded.snaked is None
+        assert bounded.total_length == pytest.approx(2.0)
+        assert bounded.delay - bounded.earliest_delay <= 50.0 + 1e-9
+
+    def test_partial_snake_when_budget_tight(self):
+        tech = unit_technology()
+        slow = Tap(cap=1.0, delay=100.0)
+        fast = Tap(cap=1.0, delay=0.0)
+        exact = zero_skew_split(2.0, slow, fast, tech)
+        bounded = bounded_skew_split(2.0, slow, 100.0, fast, 0.0, 10.0, tech)
+        # Snakes, but less than the exact-balance snake.
+        assert bounded.snaked == "b"
+        assert bounded.total_length < exact.total_length
+        assert bounded.delay - bounded.earliest_delay <= 10.0 * (1 + 1e-9)
+
+    def test_rejects_overwide_subtree(self):
+        tech = unit_technology()
+        wide = Tap(cap=1.0, delay=10.0)
+        with pytest.raises(SkewBoundError):
+            bounded_skew_split(5.0, wide, 0.0, wide, 9.0, 1.0, tech)
+
+    def test_rejects_negative_bound(self):
+        tech = unit_technology()
+        tap = Tap(cap=1.0, delay=0.0)
+        with pytest.raises(ValueError):
+            bounded_skew_split(5.0, tap, 0.0, tap, 0.0, -1.0, tech)
+
+
+class TestSplitProperties:
+    caps = st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+    delays = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+    lengths = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+    bounds = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+
+    @given(lengths, caps, delays, caps, delays, bounds)
+    @settings(max_examples=250)
+    def test_width_within_bound(self, length, cap_a, hi_a, cap_b, hi_b, bound):
+        tech = unit_technology()
+        split = bounded_skew_split(
+            length,
+            Tap(cap=cap_a, delay=hi_a),
+            hi_a,  # leaves: lo == hi
+            Tap(cap=cap_b, delay=hi_b),
+            hi_b,
+            bound,
+            tech,
+        )
+        width = split.delay - split.earliest_delay
+        assert width <= bound * (1 + 1e-9) + 1e-9
+        assert split.length_a >= 0 and split.length_b >= 0
+
+    @given(lengths, caps, delays, caps, delays, bounds)
+    @settings(max_examples=250)
+    def test_never_longer_than_zero_skew(self, length, cap_a, hi_a, cap_b, hi_b, bound):
+        tech = unit_technology()
+        exact = zero_skew_split(
+            length, Tap(cap=cap_a, delay=hi_a), Tap(cap=cap_b, delay=hi_b), tech
+        )
+        bounded = bounded_skew_split(
+            length,
+            Tap(cap=cap_a, delay=hi_a),
+            hi_a,
+            Tap(cap=cap_b, delay=hi_b),
+            hi_b,
+            bound,
+            tech,
+        )
+        assert bounded.total_length <= exact.total_length * (1 + 1e-9) + 1e-9
+
+
+class TestBoundedTrees:
+    @pytest.mark.parametrize("bound", [0.0, 5.0, 50.0])
+    def test_tree_skew_within_bound(self, bound):
+        tree = BottomUpMerger(
+            rng_sinks(25, seed=3), unit_technology(), skew_bound=bound
+        ).run()
+        assert tree.skew() <= bound * (1 + 1e-6) + 1e-9
+        tree.validate_embedding()
+
+    def test_interval_brackets_recomputed_delays(self):
+        tree = BottomUpMerger(
+            rng_sinks(20, seed=4), unit_technology(), skew_bound=8.0
+        ).run()
+        ev = tree.elmore_evaluator()
+        arrivals = {s.node: s.delay for s in ev.sink_delays()}
+        # Root interval must bracket every actual sink delay tightly.
+        lo, hi = tree.root.sink_delay_min, tree.root.sink_delay
+        assert min(arrivals.values()) == pytest.approx(lo, rel=1e-9, abs=1e-9)
+        assert max(arrivals.values()) == pytest.approx(hi, rel=1e-9, abs=1e-9)
+
+    def test_budget_saves_wire(self):
+        # Heterogeneous sink loads force balancing work; a generous
+        # budget should spend less wire than exact zero skew.
+        sinks = rng_sinks(40, seed=5, cap_spread=True)
+        tech = unit_technology()
+        exact = BottomUpMerger(sinks, tech).run()
+        loose = BottomUpMerger(sinks, tech, skew_bound=100.0).run()
+        assert loose.total_wirelength() <= exact.total_wirelength() + 1e-9
+
+    def test_gated_bounded_tree(self):
+        tree = BottomUpMerger(
+            rng_sinks(15, seed=6),
+            unit_technology(),
+            cell_policy=GateEveryEdgePolicy(),
+            skew_bound=10.0,
+        ).run()
+        assert tree.skew() <= 10.0 * (1 + 1e-6)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BottomUpMerger(rng_sinks(3), unit_technology(), skew_bound=-1.0)

@@ -1,0 +1,164 @@
+"""Unit tests for the zero-skew split (Tsay, extended to gated edges)."""
+
+import pytest
+
+from repro.cts.merge import SkewBalanceError, Tap, merge_regions, zero_skew_split
+from repro.geometry import Point, Trr
+from repro.tech import GateModel, Technology, unit_technology
+
+
+def gate(cin=1.0, r=1.0, d=1.0):
+    return GateModel(input_cap=cin, drive_resistance=r, intrinsic_delay=d, area=1.0)
+
+
+class TestSymmetricCases:
+    def test_identical_subtrees_split_in_half(self):
+        tech = unit_technology()
+        tap = Tap(cap=2.0, delay=5.0)
+        split = zero_skew_split(10.0, tap, tap, tech)
+        assert split.length_a == pytest.approx(5.0)
+        assert split.length_b == pytest.approx(5.0)
+        assert split.snaked is None
+
+    def test_identical_gated_subtrees_split_in_half(self):
+        tech = unit_technology()
+        tap = Tap(cap=2.0, delay=5.0, cell=gate())
+        split = zero_skew_split(10.0, tap, tap, tech)
+        assert split.length_a == pytest.approx(5.0)
+
+    def test_balance_achieved(self):
+        tech = unit_technology()
+        a = Tap(cap=1.0, delay=2.0, cell=gate(r=2.0))
+        b = Tap(cap=4.0, delay=0.0)
+        split = zero_skew_split(7.0, a, b, tech)
+        da = a.edge_delay(split.length_a, tech)
+        db = b.edge_delay(split.length_b, tech)
+        assert da == pytest.approx(db, rel=1e-9)
+
+    def test_zero_distance_equal_subtrees(self):
+        tech = unit_technology()
+        tap = Tap(cap=1.0, delay=1.0)
+        split = zero_skew_split(0.0, tap, tap, tech)
+        assert split.total_length == 0.0
+
+
+class TestAsymmetricCases:
+    def test_slower_side_gets_less_wire(self):
+        tech = unit_technology()
+        slow = Tap(cap=1.0, delay=10.0)
+        fast = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(10.0, slow, fast, tech)
+        assert split.length_a < split.length_b
+        assert split.snaked is None
+
+    def test_heavier_side_gets_less_wire(self):
+        tech = unit_technology()
+        heavy = Tap(cap=10.0, delay=0.0)
+        light = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(10.0, heavy, light, tech)
+        assert split.length_a < split.length_b
+
+    def test_merged_cap_sums_presented(self):
+        tech = unit_technology()
+        a = Tap(cap=2.0, delay=0.0, cell=gate(cin=0.25))
+        b = Tap(cap=3.0, delay=0.0)
+        split = zero_skew_split(4.0, a, b, tech)
+        assert split.presented_a == pytest.approx(0.25)  # decoupled
+        assert split.presented_b == pytest.approx(
+            tech.unit_wire_capacitance * split.length_b + 3.0
+        )
+        assert split.merged_cap == split.presented_a + split.presented_b
+
+
+class TestSnaking:
+    def test_very_unbalanced_snakes(self):
+        tech = unit_technology()
+        slow = Tap(cap=1.0, delay=1000.0)
+        fast = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(2.0, slow, fast, tech)
+        assert split.snaked == "b"
+        assert split.length_a == 0.0
+        assert split.length_b >= 2.0
+        assert slow.edge_delay(0.0, tech) == pytest.approx(
+            fast.edge_delay(split.length_b, tech)
+        )
+
+    def test_snaking_is_symmetric(self):
+        tech = unit_technology()
+        slow = Tap(cap=1.0, delay=1000.0)
+        fast = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(2.0, fast, slow, tech)
+        assert split.snaked == "a"
+        assert split.length_b == 0.0
+
+    def test_gate_imbalance_snakes(self):
+        # A gated side is slower at zero wire; the plain side snakes.
+        tech = unit_technology()
+        gated = Tap(cap=1.0, delay=0.0, cell=gate(d=50.0))
+        plain = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(1.0, gated, plain, tech)
+        assert split.snaked == "b"
+
+    def test_degenerate_technology_raises(self):
+        tech = Technology(
+            unit_wire_resistance=0.0,
+            unit_wire_capacitance=0.0,
+            masking_gate=gate(),
+            buffer=gate(),
+        )
+        with pytest.raises(SkewBalanceError):
+            zero_skew_split(1.0, Tap(cap=1.0, delay=5.0), Tap(cap=1.0, delay=0.0), tech)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            zero_skew_split(-1.0, Tap(cap=1.0, delay=0.0), Tap(cap=1.0, delay=0.0), unit_technology())
+
+
+class TestTap:
+    def test_unloaded_delay(self):
+        tap = Tap(cap=2.0, delay=3.0, cell=gate(r=4.0, d=1.0))
+        assert tap.unloaded_delay() == pytest.approx(1.0 + 4.0 * 2.0 + 3.0)
+
+    def test_plain_tap_has_no_cell_terms(self):
+        tap = Tap(cap=2.0, delay=3.0)
+        assert tap.drive_resistance == 0.0
+        assert tap.intrinsic_delay == 0.0
+        assert tap.unloaded_delay() == 3.0
+
+    def test_edge_delay_grows_with_length(self):
+        tech = unit_technology()
+        tap = Tap(cap=1.0, delay=0.0)
+        assert tap.edge_delay(2.0, tech) > tap.edge_delay(1.0, tech)
+
+
+class TestMergeRegions:
+    def test_exact_split_yields_arc(self):
+        tech = unit_technology()
+        ms_a = Trr.from_point(Point(0, 0))
+        ms_b = Trr.from_point(Point(6, 2))
+        tap = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(ms_a.distance_to(ms_b), tap, tap, tech)
+        region = merge_regions(ms_a, ms_b, split)
+        assert region.is_arc
+
+    def test_region_within_both_cores(self):
+        tech = unit_technology()
+        ms_a = Trr.from_point(Point(0, 0))
+        ms_b = Trr.from_point(Point(10, 4))
+        a = Tap(cap=5.0, delay=0.0)
+        b = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(ms_a.distance_to(ms_b), a, b, tech)
+        region = merge_regions(ms_a, ms_b, split)
+        assert ms_a.core(split.length_a).contains_trr(region, tol=1e-6)
+        assert ms_b.core(split.length_b).contains_trr(region, tol=1e-6)
+
+    def test_snaked_region_sits_on_fast_side(self):
+        tech = unit_technology()
+        ms_a = Trr.from_point(Point(0, 0))
+        ms_b = Trr.from_point(Point(2, 0))
+        slow = Tap(cap=1.0, delay=1000.0)
+        fast = Tap(cap=1.0, delay=0.0)
+        split = zero_skew_split(ms_a.distance_to(ms_b), slow, fast, tech)
+        region = merge_regions(ms_a, ms_b, split)
+        # e_a = 0: the merge point must lie on ms_a itself.
+        assert ms_a.contains_trr(region, tol=1e-6)

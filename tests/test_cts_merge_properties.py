@@ -1,0 +1,72 @@
+"""Property-based tests of the zero-skew split."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cts.merge import Tap, zero_skew_split
+from repro.tech import GateModel, unit_technology
+
+caps = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+delays = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+lengths = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def taps(draw):
+    cell = None
+    if draw(st.booleans()):
+        cell = GateModel(
+            input_cap=draw(st.floats(min_value=0.01, max_value=5.0)),
+            drive_resistance=draw(st.floats(min_value=0.0, max_value=10.0)),
+            intrinsic_delay=draw(st.floats(min_value=0.0, max_value=10.0)),
+            area=1.0,
+        )
+    return Tap(cap=draw(caps), delay=draw(delays), cell=cell)
+
+
+class TestZeroSkewSplitProperties:
+    @given(lengths, taps(), taps())
+    @settings(max_examples=300)
+    def test_delays_balance_exactly(self, length, a, b):
+        tech = unit_technology()
+        split = zero_skew_split(length, a, b, tech)
+        da = a.edge_delay(split.length_a, tech)
+        db = b.edge_delay(split.length_b, tech)
+        scale = max(da, db, 1.0)
+        assert abs(da - db) <= 1e-6 * scale
+
+    @given(lengths, taps(), taps())
+    @settings(max_examples=300)
+    def test_lengths_cover_distance(self, length, a, b):
+        tech = unit_technology()
+        split = zero_skew_split(length, a, b, tech)
+        assert split.length_a >= 0.0
+        assert split.length_b >= 0.0
+        assert split.total_length >= length - 1e-9 * (1 + length)
+
+    @given(lengths, taps(), taps())
+    @settings(max_examples=300)
+    def test_no_snake_means_exact_cover(self, length, a, b):
+        tech = unit_technology()
+        split = zero_skew_split(length, a, b, tech)
+        if split.snaked is None:
+            assert split.total_length <= length + 1e-6 * (1 + length)
+
+    @given(lengths, taps(), taps())
+    @settings(max_examples=200)
+    def test_symmetry(self, length, a, b):
+        tech = unit_technology()
+        ab = zero_skew_split(length, a, b, tech)
+        ba = zero_skew_split(length, b, a, tech)
+        scale = 1 + abs(ab.length_a)
+        assert abs(ab.length_a - ba.length_b) <= 1e-6 * scale
+        assert abs(ab.length_b - ba.length_a) <= 1e-6 * scale
+
+    @given(lengths, taps(), taps())
+    @settings(max_examples=200)
+    def test_merged_delay_reported(self, length, a, b):
+        tech = unit_technology()
+        split = zero_skew_split(length, a, b, tech)
+        da = a.edge_delay(split.length_a, tech)
+        assert split.delay >= da - 1e-9 * (1 + da)
+        assert split.delay >= max(a.delay, b.delay) - 1e-9

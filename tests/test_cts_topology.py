@@ -1,0 +1,145 @@
+"""Unit tests for the clock-tree container."""
+
+import pytest
+
+from repro.cts import ClockTree, Sink
+from repro.geometry import Point, Trr
+from repro.tech import unit_technology
+
+
+def sink(i, x, y, cap=1.0):
+    return Sink(name="s%d" % i, location=Point(x, y), load_cap=cap, module=i)
+
+
+def two_leaf_tree():
+    tree = ClockTree(unit_technology())
+    a = tree.add_leaf(sink(0, 0, 0))
+    b = tree.add_leaf(sink(1, 4, 0))
+    root = tree.add_internal(a.id, b.id, Trr.from_point(Point(2, 0)))
+    tree.set_root(root.id)
+    return tree, a, b, root
+
+
+class TestSink:
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError):
+            Sink(name="x", location=Point(0, 0), load_cap=-1.0, module=0)
+
+    def test_rejects_negative_module(self):
+        with pytest.raises(ValueError):
+            Sink(name="x", location=Point(0, 0), load_cap=1.0, module=-1)
+
+
+class TestConstruction:
+    def test_leaf_carries_module_mask(self):
+        tree = ClockTree(unit_technology())
+        node = tree.add_leaf(sink(5, 1, 1))
+        assert node.module_mask == 1 << 5
+        assert node.is_sink
+        assert node.subtree_cap == 1.0
+
+    def test_internal_links_children(self):
+        tree, a, b, root = two_leaf_tree()
+        assert a.parent == root.id
+        assert b.parent == root.id
+        assert root.children == (a.id, b.id)
+
+    def test_remerging_a_child_rejected(self):
+        tree, a, b, root = two_leaf_tree()
+        c = tree.add_leaf(sink(2, 9, 9))
+        with pytest.raises(ValueError):
+            tree.add_internal(a.id, c.id, Trr.from_point(Point(0, 0)))
+
+    def test_root_must_be_parentless(self):
+        tree, a, b, root = two_leaf_tree()
+        with pytest.raises(ValueError):
+            tree.set_root(a.id)
+
+    def test_root_access_before_set_raises(self):
+        tree = ClockTree(unit_technology())
+        tree.add_leaf(sink(0, 0, 0))
+        with pytest.raises(ValueError):
+            _ = tree.root_id
+
+
+class TestTraversal:
+    def test_len_counts_nodes(self):
+        tree, *_ = two_leaf_tree()
+        assert len(tree) == 3
+
+    def test_sinks_and_internal_partition(self):
+        tree, a, b, root = two_leaf_tree()
+        assert {n.id for n in tree.sinks()} == {a.id, b.id}
+        assert {n.id for n in tree.internal_nodes()} == {root.id}
+
+    def test_edges_exclude_root(self):
+        tree, a, b, root = two_leaf_tree()
+        assert {n.id for n in tree.edges()} == {a.id, b.id}
+
+    def test_preorder_visits_parent_first(self):
+        tree, a, b, root = two_leaf_tree()
+        order = [n.id for n in tree.preorder()]
+        assert order[0] == root.id
+        assert set(order) == {a.id, b.id, root.id}
+
+    def test_parent_chain_and_depth(self):
+        tree, a, b, root = two_leaf_tree()
+        chain = [n.id for n in tree.parent_chain(a.id)]
+        assert chain == [root.id]
+        assert tree.depth(a.id) == 1
+        assert tree.depth(root.id) == 0
+
+
+class TestMetrics:
+    def test_total_wirelength(self):
+        tree, a, b, root = two_leaf_tree()
+        a.edge_length = 2.0
+        b.edge_length = 2.0
+        assert tree.total_wirelength() == 4.0
+
+    def test_gate_and_cell_counts(self):
+        tree, a, b, root = two_leaf_tree()
+        tech = tree.tech
+        a.edge_cell = tech.masking_gate
+        a.edge_maskable = True
+        b.edge_cell = tech.buffer
+        b.edge_maskable = False
+        assert tree.gate_count() == 1
+        assert tree.cell_count() == 2
+        assert tree.cell_area() == tech.masking_gate.area + tech.buffer.area
+        assert [n.id for n in tree.gates()] == [a.id]
+
+
+class TestValidation:
+    def test_unplaced_tree_fails_validation(self):
+        tree, *_ = two_leaf_tree()
+        with pytest.raises(ValueError):
+            tree.validate_embedding()
+
+    def test_placement_off_segment_fails(self):
+        tree, a, b, root = two_leaf_tree()
+        a.location = Point(9, 9)  # not the sink location
+        b.location = Point(4, 0)
+        root.location = Point(2, 0)
+        a.edge_length = b.edge_length = 100.0
+        with pytest.raises(ValueError):
+            tree.validate_embedding()
+
+    def test_short_edge_fails(self):
+        tree, a, b, root = two_leaf_tree()
+        a.location = Point(0, 0)
+        b.location = Point(4, 0)
+        root.location = Point(2, 0)
+        a.edge_length = 0.5  # needs >= 2
+        b.edge_length = 2.0
+        with pytest.raises(ValueError):
+            tree.validate_embedding()
+
+    def test_consistent_embedding_passes(self):
+        tree, a, b, root = two_leaf_tree()
+        a.location = Point(0, 0)
+        b.location = Point(4, 0)
+        root.location = Point(2, 0)
+        a.edge_length = 2.0
+        b.edge_length = 2.5  # snaked edges may be longer
+        tree.validate_embedding()

@@ -1,0 +1,142 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import InstructionSet
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.dme import GateEveryEdgePolicy
+from repro.geometry import Point
+from repro.tech import unit_technology
+
+
+def oracle_for(num_modules, seed=0):
+    rng = np.random.default_rng(seed)
+    lists = []
+    for _ in range(6):
+        row = set(np.nonzero(rng.random(num_modules) < 0.4)[0].tolist())
+        lists.append(row or {0})
+    isa = InstructionSet.from_usage_lists(lists, num_modules=num_modules)
+    ids = rng.integers(0, 6, 300)
+    return ActivityOracle(ActivityTables.from_stream(isa, InstructionStream(ids=ids)))
+
+
+class TestDegenerateGeometry:
+    def test_coincident_sinks(self):
+        sinks = [
+            Sink("a", Point(5, 5), 1.0, 0),
+            Sink("b", Point(5, 5), 1.0, 1),
+        ]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        assert tree.skew() <= 1e-9
+        assert tree.total_wirelength() == pytest.approx(0.0)
+
+    def test_coincident_sinks_different_loads(self):
+        # With zero wire both sides have zero delay regardless of load,
+        # so the merge is balanced without any snaking.
+        sinks = [
+            Sink("a", Point(5, 5), 1.0, 0),
+            Sink("b", Point(5, 5), 10.0, 1),
+        ]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        assert tree.total_wirelength() == pytest.approx(0.0)
+        assert tree.skew() <= 1e-12
+        # The asymmetric loads still add up at the merge point.
+        assert tree.root.subtree_cap == pytest.approx(11.0)
+
+    def test_collinear_sinks(self):
+        sinks = [Sink("s%d" % i, Point(10.0 * i, 0.0), 1.0, i) for i in range(9)]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        assert tree.skew() <= 1e-6 * max(tree.phase_delay(), 1.0)
+        tree.validate_embedding()
+
+    def test_diagonal_sinks(self):
+        # All on one Manhattan arc: merging segments stay degenerate.
+        sinks = [Sink("s%d" % i, Point(10.0 * i, 10.0 * i), 1.0, i) for i in range(7)]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        assert tree.skew() <= 1e-6 * max(tree.phase_delay(), 1.0)
+
+    def test_zero_load_sinks(self):
+        sinks = [
+            Sink("a", Point(0, 0), 0.0, 0),
+            Sink("b", Point(10, 0), 0.0, 1),
+            Sink("c", Point(3, 8), 0.0, 2),
+        ]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        assert tree.skew() <= 1e-9 * max(tree.phase_delay(), 1.0)
+
+    def test_huge_coordinates(self):
+        sinks = [
+            Sink("a", Point(1e8, 1e8), 1.0, 0),
+            Sink("b", Point(1e8 + 1000, 1e8 - 500), 1.0, 1),
+        ]
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        assert tree.skew() <= 1e-6 * max(tree.phase_delay(), 1.0)
+
+
+class TestActivityEdgeCases:
+    def test_shared_module_between_sinks(self):
+        # Two clock pins of the same module: legal, same enable.
+        oracle = oracle_for(4)
+        sinks = [
+            Sink("a", Point(0, 0), 1.0, 2),
+            Sink("b", Point(10, 0), 1.0, 2),
+            Sink("c", Point(5, 9), 1.0, 1),
+        ]
+        tree = BottomUpMerger(
+            sinks, unit_technology(), oracle=oracle, cell_policy=GateEveryEdgePolicy()
+        ).run()
+        pins = [n for n in tree.sinks() if n.sink.module == 2]
+        assert pins[0].enable_probability == pins[1].enable_probability
+        # Their union is the same signal, not a bigger one.
+        parent_mask = pins[0].module_mask | pins[1].module_mask
+        assert parent_mask == pins[0].module_mask
+
+    def test_module_never_used_by_any_instruction(self):
+        # A module outside every instruction's usage set: P = Ptr = 0.
+        isa = InstructionSet.from_usage_lists([{0}, {1}], num_modules=3)
+        ids = np.array([0, 1, 0, 1])
+        oracle = ActivityOracle(
+            ActivityTables.from_stream(isa, InstructionStream(ids=ids))
+        )
+        assert oracle.signal_probability(1 << 2) == 0.0
+        assert oracle.transition_probability(1 << 2) == 0.0
+
+    def test_mask_beyond_module_universe_is_inert(self):
+        oracle = oracle_for(4)
+        base = oracle.signal_probability(0b0011)
+        widened = oracle.signal_probability(0b0011 | (1 << 60))
+        assert widened == pytest.approx(base)
+
+    def test_constant_stream_has_no_transitions(self):
+        isa = InstructionSet.from_usage_lists([{0}, {1}], num_modules=2)
+        ids = np.zeros(50, dtype=np.int64)
+        oracle = ActivityOracle(
+            ActivityTables.from_stream(isa, InstructionStream(ids=ids))
+        )
+        assert oracle.transition_probability(0b01) == 0.0
+        assert oracle.signal_probability(0b01) == 1.0
+
+
+class TestTinyInstances:
+    def test_two_sinks_gated(self):
+        oracle = oracle_for(2)
+        sinks = [Sink("a", Point(0, 0), 1.0, 0), Sink("b", Point(9, 4), 1.0, 1)]
+        tree = BottomUpMerger(
+            sinks, unit_technology(), oracle=oracle, cell_policy=GateEveryEdgePolicy()
+        ).run()
+        assert tree.gate_count() == 2
+
+    def test_single_sink_flows(self):
+        from repro.core.flow import route_buffered, route_gated
+
+        oracle = oracle_for(1)
+        sinks = [Sink("only", Point(50, 50), 1.0, 0)]
+        tech = unit_technology()
+        buffered = route_buffered(sinks, tech)
+        assert buffered.wirelength == 0.0
+        assert buffered.skew == 0.0
+        gated = route_gated(sinks, tech, oracle)
+        assert gated.gate_count == 0  # no edges, no gates
+        assert gated.switched_cap.controller_tree == 0.0

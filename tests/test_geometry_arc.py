@@ -1,0 +1,60 @@
+"""Unit tests for Manhattan arcs (merging segments)."""
+
+import pytest
+
+from repro.geometry import ManhattanArc, Point, Trr
+
+
+class TestConstruction:
+    def test_from_point(self):
+        arc = ManhattanArc.from_point(Point(1, 2))
+        assert arc.is_point
+        assert arc.length == 0.0
+
+    def test_from_endpoints(self):
+        arc = ManhattanArc.from_endpoints(Point(0, 0), Point(2, 2))
+        assert not arc.is_point
+        assert arc.length == pytest.approx(4.0)
+
+    def test_rejects_non_diagonal(self):
+        with pytest.raises(ValueError):
+            ManhattanArc.from_endpoints(Point(0, 0), Point(5, 0))
+
+    def test_rejects_2d_region(self):
+        with pytest.raises(ValueError):
+            ManhattanArc(Trr.from_point(Point(0, 0), radius=1.0))
+
+
+class TestQueries:
+    def test_midpoint(self):
+        arc = ManhattanArc.from_endpoints(Point(0, 0), Point(2, 2))
+        assert arc.midpoint().is_close(Point(1, 1))
+
+    def test_point_at_endpoints(self):
+        a, b = Point(0, 2), Point(2, 0)
+        arc = ManhattanArc.from_endpoints(a, b)
+        e0, e1 = arc.point_at(0.0), arc.point_at(1.0)
+        assert {(round(e0.x), round(e0.y)), (round(e1.x), round(e1.y))} == {
+            (0, 2),
+            (2, 0),
+        }
+
+    def test_point_at_out_of_range(self):
+        arc = ManhattanArc.from_point(Point(0, 0))
+        with pytest.raises(ValueError):
+            arc.point_at(1.5)
+
+    def test_distance_between_arcs(self):
+        a = ManhattanArc.from_point(Point(0, 0))
+        b = ManhattanArc.from_endpoints(Point(4, 0), Point(6, 2))
+        assert a.distance_to(b) == pytest.approx(4.0)
+
+    def test_nearest_point_on_arc(self):
+        arc = ManhattanArc.from_endpoints(Point(0, 0), Point(4, 4))
+        q = arc.nearest_point_to(Point(10, 10))
+        assert q.is_close(Point(4, 4))
+
+    def test_endpoints_of_point_arc_coincide(self):
+        arc = ManhattanArc.from_point(Point(3, 3))
+        e0, e1 = arc.endpoints()
+        assert e0 == e1 == Point(3, 3)

@@ -1,0 +1,84 @@
+"""Property-based tests for the geometry substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Trr
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+radii = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@st.composite
+def trrs(draw):
+    return Trr.from_segment(draw(points()), draw(points())).core(draw(radii))
+
+
+class TestMetricAxioms:
+    @given(points(), points())
+    def test_symmetry(self, a, b):
+        assert a.manhattan_to(b) == b.manhattan_to(a)
+
+    @given(points())
+    def test_identity(self, a):
+        assert a.manhattan_to(a) == 0.0
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert a.manhattan_to(c) <= a.manhattan_to(b) + b.manhattan_to(c) + 1e-6
+
+    @given(points(), points())
+    def test_uv_chebyshev_equivalence(self, a, b):
+        cheb = max(abs(a.u - b.u), abs(a.v - b.v))
+        assert abs(a.manhattan_to(b) - cheb) <= 1e-6 * (1 + cheb)
+
+
+class TestTrrProperties:
+    @given(trrs(), points())
+    def test_nearest_point_is_member_and_optimal(self, t, p):
+        q = t.nearest_point_to(p)
+        tol = 1e-6 * (1 + abs(p.u) + abs(p.v) + abs(t.ulo) + abs(t.uhi))
+        assert t.contains_point(q, tol=tol)
+        assert q.manhattan_to(p) <= t.distance_to_point(p) + tol
+
+    @given(trrs(), trrs())
+    def test_nearest_points_achieve_distance(self, a, b):
+        pa, pb = a.nearest_points(b)
+        d = a.distance_to(b)
+        tol = 1e-6 * (1 + d + abs(pa.u) + abs(pb.u))
+        assert abs(pa.manhattan_to(pb) - d) <= tol
+        assert a.contains_point(pa, tol=tol)
+        assert b.contains_point(pb, tol=tol)
+
+    @given(trrs(), radii)
+    def test_core_monotone(self, t, r):
+        assert t.core(r).contains_trr(t)
+
+    @given(trrs(), trrs())
+    def test_intersection_inside_both(self, a, b):
+        region = a.intersection(b)
+        if region is not None:
+            tol = 1e-9 * (1 + abs(a.uhi) + abs(b.uhi))
+            assert a.contains_trr(region, tol=tol)
+            assert b.contains_trr(region, tol=tol)
+
+    @given(trrs(), trrs())
+    @settings(max_examples=60)
+    def test_half_distance_cores_always_meet(self, a, b):
+        d = a.distance_to(b)
+        r = d / 2.0 + 1e-9 * (1 + d)
+        assert a.core(r).intersection(b.core(r)) is not None
+
+    @given(trrs(), points(), points())
+    def test_distance_lower_bounds_member_distance(self, t, p, q):
+        # Any member point is at least distance_to_point away from p.
+        member = t.nearest_point_to(q)
+        tol = 1e-6 * (1 + abs(p.u) + abs(q.u) + abs(t.uhi))
+        assert member.manhattan_to(p) + tol >= t.distance_to_point(p)

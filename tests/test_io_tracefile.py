@@ -1,0 +1,97 @@
+"""Unit tests for ISA / trace file round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.activity import InstructionStream
+from repro.activity.isa import paper_example_isa, paper_example_stream
+from repro.activity.probability import ActivityOracle, scan_stream_probabilities
+from repro.activity.tables import ActivityTables
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
+from repro.io.tracefile import (
+    load_workload,
+    read_isa,
+    read_trace,
+    save_workload,
+    write_isa,
+    write_trace,
+)
+
+
+@pytest.fixture()
+def paper_workload():
+    isa = paper_example_isa()
+    stream = InstructionStream(ids=np.array(paper_example_stream()))
+    return isa, stream
+
+
+class TestIsaRoundTrip:
+    def test_roundtrip(self, paper_workload):
+        isa, _ = paper_workload
+        buffer = io.StringIO()
+        write_isa(isa, buffer)
+        buffer.seek(0)
+        loaded = read_isa(buffer)
+        assert loaded.names == isa.names
+        assert loaded.masks == isa.masks
+        assert loaded.num_modules == isa.num_modules
+
+    def test_file_roundtrip(self, paper_workload, tmp_path):
+        isa, _ = paper_workload
+        path = tmp_path / "isa.json"
+        write_isa(isa, path)
+        assert read_isa(path).masks == isa.masks
+
+    def test_version_check(self, paper_workload):
+        isa, _ = paper_workload
+        buffer = io.StringIO()
+        write_isa(isa, buffer)
+        data = buffer.getvalue().replace('"format_version": 1', '"format_version": 9')
+        with pytest.raises(ValueError, match="version"):
+            read_isa(io.StringIO(data))
+
+
+class TestTraceRoundTrip:
+    def test_roundtrip(self, paper_workload):
+        isa, stream = paper_workload
+        buffer = io.StringIO()
+        write_trace(isa, stream, buffer)
+        buffer.seek(0)
+        loaded = read_trace(isa, buffer)
+        assert (loaded.ids == stream.ids).all()
+
+    def test_unknown_instruction_reports_line(self, paper_workload):
+        isa, _ = paper_workload
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(isa, io.StringIO("I1\nBOGUS\n"))
+
+    def test_empty_trace_rejected(self, paper_workload):
+        isa, _ = paper_workload
+        with pytest.raises(ValueError, match="no instructions"):
+            read_trace(isa, io.StringIO("# only a comment\n"))
+
+
+class TestWorkloadFiles:
+    def test_save_load_preserves_probabilities(self, paper_workload, tmp_path):
+        isa, stream = paper_workload
+        save_workload(isa, stream, tmp_path / "isa.json", tmp_path / "trace.txt")
+        oracle = load_workload(tmp_path / "isa.json", tmp_path / "trace.txt")
+        direct = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        mask = (1 << 4) | (1 << 5)
+        assert oracle.signal_probability(mask) == pytest.approx(
+            direct.signal_probability(mask)
+        )
+        assert oracle.transition_probability(mask) == pytest.approx(
+            direct.transition_probability(mask)
+        )
+
+    def test_cpu_model_workload_roundtrip(self, tmp_path):
+        cpu = CpuModel(CpuModelConfig(num_modules=20, num_instructions=8, seed=3))
+        stream = cpu.stream(500)
+        save_workload(cpu.isa, stream, tmp_path / "isa.json", tmp_path / "trace.txt")
+        oracle = load_workload(tmp_path / "isa.json", tmp_path / "trace.txt")
+        p_scan, ptr_scan = scan_stream_probabilities(cpu.isa, stream, 0b111)
+        assert oracle.signal_probability(0b111) == pytest.approx(p_scan)
+        assert oracle.transition_probability(0b111) == pytest.approx(ptr_scan)

@@ -1,0 +1,180 @@
+"""Shape tests: the paper's qualitative claims at small scale.
+
+Each test asserts a *direction* the paper reports (who wins, what
+grows, where the floor sits), not absolute numbers; the full-size
+regenerations live in benchmarks/.  Scales are chosen small enough for
+the test suite but large enough that the effects are stable.
+"""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_buffered, route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.core.switched_cap import masking_efficiency
+from repro.tech import date98_technology
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return date98_technology()
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_benchmark("r1", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def buffered(case, tech):
+    return route_buffered(case.sinks, tech, candidate_limit=16)
+
+
+@pytest.fixture(scope="module")
+def gated(case, tech):
+    return route_gated(case.sinks, tech, case.oracle, die=case.die, candidate_limit=16)
+
+
+@pytest.fixture(scope="module")
+def reduced(case, tech):
+    return route_gated(
+        case.sinks,
+        tech,
+        case.oracle,
+        die=case.die,
+        candidate_limit=16,
+        reduction=GateReductionPolicy.from_knob(0.5, tech),
+    )
+
+
+class TestFig3Shape:
+    """Buffered vs gated vs gate-reduced (section 5.1)."""
+
+    def test_gate_reduced_beats_buffered(self, buffered, reduced):
+        assert reduced.switched_cap.total < buffered.switched_cap.total
+
+    def test_gate_reduction_beats_full_gating(self, gated, reduced):
+        assert reduced.switched_cap.total < gated.switched_cap.total
+
+    def test_star_routing_dominates_fully_gated_overhead(self, gated):
+        # "The major overhead in switched capacitance and the area
+        # comes from the star routing."
+        assert gated.area.controller_wire > gated.area.clock_wire
+
+    def test_gated_trees_cost_area(self, buffered, gated, reduced):
+        # "There is still however an area overhead."
+        assert gated.area.total > buffered.area.total
+        assert reduced.area.total > buffered.area.total
+        assert reduced.area.total < gated.area.total
+
+
+class TestFig4Shape:
+    """Average module activity vs switched capacitance (section 5.2)."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, tech):
+        points = []
+        for activity in (0.1, 0.4, 0.75):
+            bench = load_benchmark("r1", scale=0.2, target_activity=activity)
+            result = route_gated(
+                bench.sinks,
+                tech,
+                bench.oracle,
+                die=bench.die,
+                candidate_limit=16,
+                reduction=GateReductionPolicy.from_knob(0.5, tech),
+            )
+            baseline = route_buffered(bench.sinks, tech, candidate_limit=16)
+            points.append(
+                (
+                    activity,
+                    result.switched_cap.total / baseline.switched_cap.total,
+                    masking_efficiency(result.tree, tech),
+                )
+            )
+        return points
+
+    def test_savings_diminish_with_activity(self, sweep):
+        ratios = [ratio for _, ratio, _ in sweep]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_gating_strong_at_low_activity(self, sweep):
+        assert sweep[0][1] < 0.7
+
+    def test_masking_floor_tracks_activity(self, sweep):
+        # "The power consumption of the gated clock tree will be at
+        # least [the average activity fraction] of the ungated tree."
+        for activity, _, floor in sweep:
+            assert floor >= 0.5 * activity
+
+    def test_masking_grows_with_activity(self, sweep):
+        floors = [floor for *_, floor in sweep]
+        assert floors[0] < floors[-1]
+
+
+class TestFig5Shape:
+    """Gate reduction vs switched capacitance / area (section 5.3)."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, case, tech):
+        rows = []
+        for knob in (0.0, 0.3, 0.6, 1.0):
+            reduction = (
+                GateReductionPolicy.from_knob(knob, tech) if knob > 0 else None
+            )
+            result = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=16,
+                reduction=reduction,
+            )
+            rows.append(result)
+        return rows
+
+    def test_reduction_monotone_in_knob(self, sweep):
+        reductions = [r.gate_reduction for r in sweep]
+        assert reductions == sorted(reductions)
+
+    def test_controller_cap_falls_with_reduction(self, sweep):
+        ctrl = [r.switched_cap.controller_tree for r in sweep]
+        assert ctrl[0] > ctrl[-1]
+        assert all(a >= b - 1e-9 for a, b in zip(ctrl, ctrl[1:]))
+
+    def test_optimum_is_interior(self, sweep):
+        # "There will be an optimum number of gates": some reduced
+        # configuration beats the fully gated tree.
+        totals = [r.switched_cap.total for r in sweep]
+        assert min(totals[1:]) < totals[0]
+
+    def test_controller_area_falls(self, sweep):
+        areas = [r.area.controller_wire for r in sweep]
+        assert areas[0] > areas[-1]
+
+
+class TestFig6Shape:
+    """Distributed controllers (section 6)."""
+
+    def test_star_wire_scales_roughly_inverse_sqrt_k(self, case, tech):
+        results = {
+            k: route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                candidate_limit=16,
+                num_controllers=k,
+            )
+            for k in (1, 4, 16)
+        }
+        w1 = results[1].area.controller_wire
+        w4 = results[4].area.controller_wire
+        w16 = results[16].area.controller_wire
+        assert w4 < w1
+        assert w16 < w4
+        # Expected factor 2 per 4x controllers; allow a broad band.
+        assert w1 / w4 == pytest.approx(2.0, rel=0.5)
+        assert w4 / w16 == pytest.approx(2.0, rel=0.5)

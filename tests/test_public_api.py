@@ -1,0 +1,82 @@
+"""The public API surface: imports, __all__, and the README example."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "load_benchmark",
+            "route_buffered",
+            "route_gated",
+            "build_gated_tree",
+            "GateReductionPolicy",
+            "GateSizingPolicy",
+            "ClockNetworkSimulator",
+            "date98_technology",
+        ):
+            assert name in repro.__all__
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.tech",
+            "repro.rc",
+            "repro.activity",
+            "repro.cts",
+            "repro.core",
+            "repro.bench",
+            "repro.sim",
+            "repro.analysis",
+            "repro.io",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), (module, name)
+
+    def test_every_public_item_documented(self):
+        # Every exported object carries a docstring.
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, "missing docstring: %s" % name
+
+
+class TestReadmeExample:
+    def test_quickstart_snippet_runs(self):
+        from repro import (
+            GateReductionPolicy,
+            date98_technology,
+            load_benchmark,
+            route_buffered,
+            route_gated,
+        )
+
+        tech = date98_technology()
+        case = load_benchmark("r1", scale=0.08)
+        buffered = route_buffered(case.sinks, tech)
+        gated = route_gated(case.sinks, tech, case.oracle, die=case.die)
+        reduced = route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            reduction=GateReductionPolicy.from_knob(0.5, tech),
+        )
+        for result in (buffered, gated, reduced):
+            assert "W=" in result.summary()

@@ -1,0 +1,107 @@
+"""Unit tests for the Elmore-delay evaluator (hand-computed cases)."""
+
+import pytest
+
+from repro.rc import EdgeElectrical, ElmoreEvaluator
+from repro.tech import GateModel, unit_technology
+
+
+def build(edges, children, tech=None):
+    return ElmoreEvaluator(edges, children, tech or unit_technology())
+
+
+class TestSingleWire:
+    def test_wire_delay_hand_computed(self):
+        # root --(length 2)--> sink with 3 pF load; r = c = 1.
+        # delay = r*L * (c*L/2 + C) = 2 * (1 + 3) = 8.
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=2.0, cell=None, node_cap=3.0),
+        ]
+        ev = build(edges, {0: [1], 1: []})
+        assert ev.max_delay() == pytest.approx(8.0)
+        assert ev.skew() == 0.0
+
+    def test_presented_cap_of_plain_wire(self):
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=2.0, cell=None, node_cap=3.0),
+        ]
+        ev = build(edges, {0: [1], 1: []})
+        # c*L + load = 2 + 3.
+        assert ev.presented_cap(1) == pytest.approx(5.0)
+        assert ev.subtree_cap(0) == pytest.approx(5.0)
+
+
+class TestGatedWire:
+    def test_gate_decouples_upstream(self):
+        cell = GateModel(input_cap=0.5, drive_resistance=2.0, intrinsic_delay=1.0, area=1.0)
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=2.0, cell=cell, node_cap=3.0),
+        ]
+        ev = build(edges, {0: [1], 1: []})
+        assert ev.presented_cap(1) == pytest.approx(0.5)
+
+    def test_gate_delay_hand_computed(self):
+        # D + R*(c*L + C) + wire = 1 + 2*(2+3) + 8 = 19.
+        cell = GateModel(input_cap=0.5, drive_resistance=2.0, intrinsic_delay=1.0, area=1.0)
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=cell, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=2.0, cell=cell, node_cap=3.0),
+        ]
+        ev = build(edges, {0: [1], 1: []})
+        assert ev.max_delay() == pytest.approx(19.0)
+
+
+class TestBranching:
+    def _y_tree(self, l1, l2, c1, c2):
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=l1, cell=None, node_cap=c1),
+            EdgeElectrical(node=2, parent=0, length=l2, cell=None, node_cap=c2),
+        ]
+        return build(edges, {0: [1, 2], 1: [], 2: []})
+
+    def test_symmetric_y_is_zero_skew(self):
+        ev = self._y_tree(2.0, 2.0, 1.0, 1.0)
+        assert ev.skew() == pytest.approx(0.0)
+
+    def test_asymmetric_y_skew_hand_computed(self):
+        # side 1: 2*(1+1) = 4 ; side 2: 1*(0.5+1) = 1.5 -> skew 2.5.
+        ev = self._y_tree(2.0, 1.0, 1.0, 1.0)
+        assert ev.skew() == pytest.approx(2.5)
+
+    def test_root_sees_both_branches(self):
+        ev = self._y_tree(2.0, 1.0, 1.0, 1.0)
+        # (2*1 + 1) + (1*1 + 1) = 5.
+        assert ev.subtree_cap(0) == pytest.approx(5.0)
+
+    def test_deep_chain_accumulates(self):
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=1.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=2, parent=1, length=1.0, cell=None, node_cap=1.0),
+        ]
+        ev = build(edges, {0: [1], 1: [2], 2: []})
+        # edge2: 1*(0.5+1) = 1.5; edge1 sees downstream c*1+1 = 2:
+        # 1*(0.5+2) = 2.5; total 4.0.
+        assert ev.max_delay() == pytest.approx(4.0)
+
+
+class TestValidation:
+    def test_requires_exactly_one_root(self):
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=-1, length=0.0, cell=None, node_cap=0.0),
+        ]
+        with pytest.raises(ValueError):
+            build(edges, {0: [], 1: []})
+
+    def test_edge_delay_of_root_is_zero(self):
+        edges = [
+            EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0),
+            EdgeElectrical(node=1, parent=0, length=1.0, cell=None, node_cap=1.0),
+        ]
+        ev = build(edges, {0: [1], 1: []})
+        assert ev.edge_delay(0) == 0.0

@@ -1,0 +1,105 @@
+"""Property-based tests for the Elmore evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rc import EdgeElectrical, ElmoreEvaluator
+from repro.tech import GateModel, unit_technology
+
+lengths = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+caps = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def random_chain(draw):
+    """A root-to-sink chain with optional cells on each edge."""
+    depth = draw(st.integers(min_value=1, max_value=6))
+    edges = [EdgeElectrical(node=0, parent=-1, length=0.0, cell=None, node_cap=0.0)]
+    children = {0: []}
+    for i in range(1, depth + 1):
+        cell = None
+        if draw(st.booleans()):
+            cell = GateModel(
+                input_cap=draw(st.floats(min_value=0.1, max_value=2.0)),
+                drive_resistance=draw(st.floats(min_value=0.0, max_value=5.0)),
+                intrinsic_delay=draw(st.floats(min_value=0.0, max_value=5.0)),
+                area=1.0,
+            )
+        edges.append(
+            EdgeElectrical(
+                node=i,
+                parent=i - 1,
+                length=draw(lengths),
+                cell=cell,
+                node_cap=draw(caps) if i == depth else 0.0,
+            )
+        )
+        children[i - 1].append(i)
+        children[i] = []
+    return edges, children
+
+
+class TestElmoreProperties:
+    @given(random_chain())
+    @settings(max_examples=120, deadline=None)
+    def test_chain_delay_is_sum_of_edge_delays(self, data):
+        edges, children = data
+        ev = ElmoreEvaluator(edges, children, unit_technology())
+        total = sum(ev.edge_delay(e.node) for e in edges)
+        assert ev.max_delay() == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @given(random_chain())
+    @settings(max_examples=120, deadline=None)
+    def test_single_path_has_zero_skew(self, data):
+        edges, children = data
+        ev = ElmoreEvaluator(edges, children, unit_technology())
+        assert ev.skew() == 0.0
+
+    @given(random_chain(), st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_monotone_in_extra_length(self, data, stretch):
+        # Lengthening the last edge can only slow the sink.
+        edges, children = data
+        tech = unit_technology()
+        base = ElmoreEvaluator(edges, children, tech).max_delay()
+        last = edges[-1]
+        stretched = edges[:-1] + [
+            EdgeElectrical(
+                node=last.node,
+                parent=last.parent,
+                length=last.length + stretch,
+                cell=last.cell,
+                node_cap=last.node_cap,
+            )
+        ]
+        slower = ElmoreEvaluator(stretched, children, tech).max_delay()
+        assert slower >= base - 1e-9
+
+    @given(random_chain())
+    @settings(max_examples=100, deadline=None)
+    def test_gating_every_edge_never_increases_presented_cap(self, data):
+        edges, children = data
+        tech = unit_technology()
+        gate = tech.masking_gate
+        plain = ElmoreEvaluator(edges, children, tech)
+        gated_edges = [
+            e
+            if e.parent < 0
+            else EdgeElectrical(
+                node=e.node,
+                parent=e.parent,
+                length=e.length,
+                cell=gate,
+                node_cap=e.node_cap,
+            )
+            for e in edges
+        ]
+        gated = ElmoreEvaluator(gated_edges, children, tech)
+        # The gate presents a constant C_g upstream; for any subtree
+        # whose exposed cap exceeds C_g this is a strict reduction.
+        for e in edges:
+            if e.parent < 0:
+                continue
+            assert gated.presented_cap(e.node) == pytest.approx(gate.input_cap)

@@ -1,0 +1,58 @@
+"""Property-based tests for route geometry over random trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.dme import GateEveryEdgePolicy
+from repro.cts.routes import tree_routes
+from repro.geometry import Point
+from repro.tech import unit_technology
+
+coords = st.floats(min_value=0, max_value=500, allow_nan=False)
+
+
+@st.composite
+def sink_sets(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    return [
+        Sink(
+            name="s%d" % i,
+            location=Point(draw(coords), draw(coords)),
+            load_cap=draw(st.floats(min_value=0.1, max_value=5.0)),
+            module=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRouteProperties:
+    @given(sink_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_lengths_match_edges_exactly(self, sinks):
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        for route in tree_routes(tree):
+            node = tree.node(route.node_id)
+            scale = 1.0 + node.edge_length
+            assert abs(route.length - node.edge_length) <= 1e-6 * scale
+
+    @given(sink_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_routes_rectilinear_and_anchored(self, sinks):
+        tree = BottomUpMerger(sinks, unit_technology()).run()
+        for route in tree_routes(tree):
+            node = tree.node(route.node_id)
+            parent = tree.node(node.parent)
+            assert route.is_rectilinear(tol=1e-6)
+            assert route.points[0].is_close(parent.location, tol=1e-6)
+            assert route.points[-1].is_close(node.location, tol=1e-6)
+
+    @given(sink_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_gated_trees_route_too(self, sinks):
+        tree = BottomUpMerger(
+            sinks, unit_technology(), cell_policy=GateEveryEdgePolicy()
+        ).run()
+        total = sum(r.length for r in tree_routes(tree))
+        assert total == pytest.approx(tree.total_wirelength(), rel=1e-6)

@@ -1,0 +1,39 @@
+"""The committed study specs must load and (scaled down) run."""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.study import StudySpec, run_study
+
+STUDIES = sorted((Path(__file__).parent.parent / "studies").glob("*.json"))
+
+
+class TestCommittedSpecs:
+    def test_specs_exist(self):
+        names = {p.name for p in STUDIES}
+        assert "paper_fig3.json" in names
+        assert "extensions.json" in names
+
+    @pytest.mark.parametrize("path", STUDIES, ids=lambda p: p.name)
+    def test_spec_loads(self, path):
+        spec = StudySpec.load(path)
+        assert spec.benchmarks
+        assert spec.methods
+
+    def test_fig3_spec_covers_all_benchmarks(self):
+        spec = StudySpec.load(Path("studies/paper_fig3.json"))
+        assert list(spec.benchmarks) == ["r1", "r2", "r3", "r4", "r5"]
+        assert [m.name for m in spec.methods] == ["buffered", "gated", "gate-red"]
+        assert spec.scale == 1.0
+
+    def test_extensions_spec_runs_scaled_down(self):
+        spec = StudySpec.load(Path("studies/extensions.json"))
+        small = dataclasses.replace(spec, scale=0.06)
+        result = run_study(small)
+        assert len(result.rows) == len(spec.methods)
+        # The spec exercises every extension code path.
+        names = {r.comparison.method for r in result.rows}
+        assert "gate-red+sizing" in names
+        assert "exact-greedy" in names
