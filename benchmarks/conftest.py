@@ -13,7 +13,6 @@ star-routing overhead only dominates once a benchmark has a few dozen
 gates) -- use the default or larger.
 """
 
-import os
 from pathlib import Path
 
 import pytest

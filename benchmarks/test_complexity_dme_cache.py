@@ -1,0 +1,172 @@
+"""Plan-cache / pruning / index effectiveness of the DME merger.
+
+The greedy merger's work is dominated by ``plan()`` evaluations (one
+zero-skew split plus oracle probes each).  The caching layer -- plan
+memoization per active pair, cost lower-bound pruning, and the grid
+candidate index -- must cut those evaluations by at least 3x on a
+128-sink instance *without changing a single greedy decision*: the
+merge traces are asserted byte-identical before any counter is read.
+
+Outputs:
+
+* ``benchmarks/results/complexity_dme_cache.txt`` -- MergerStats rows
+  per configuration (via :func:`repro.analysis.report.format_merger_stats`);
+* ``BENCH_dme_scaling.json`` at the repo root -- wall-clock and plan
+  counts for cached vs uncached runs over several sizes.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import format_merger_stats, format_table
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
+from repro.bench.sinks import SinkGenerator
+from repro.core.cost import incremental_switched_capacitance_cost
+from repro.cts import BottomUpMerger
+from repro.cts.dme import GateEveryEdgePolicy
+
+ROOT = Path(__file__).resolve().parent.parent
+SIZES = (64, 128, 256)
+
+#: Flags reproducing the seed engine: every probe replans from scratch.
+UNCACHED = dict(plan_cache=False, cost_pruning=False, spatial_index=False)
+
+
+def _instance(n):
+    gen = SinkGenerator(num_sinks=n, seed=1)
+    cpu = CpuModel(CpuModelConfig(num_modules=n, num_instructions=16, seed=1))
+    oracle = cpu.oracle(4000)
+    return gen.generate(), oracle, gen.die()
+
+
+def _merge(sinks, oracle, die, tech, candidate_limit=None, **flags):
+    merger = BottomUpMerger(
+        sinks,
+        tech,
+        cost=incremental_switched_capacitance_cost,
+        cell_policy=GateEveryEdgePolicy(),
+        oracle=oracle,
+        controller_point=die.center,
+        candidate_limit=candidate_limit,
+        **flags,
+    )
+    start = time.perf_counter()
+    tree = merger.run()
+    elapsed = time.perf_counter() - start
+    return merger, tree, elapsed
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_cache_cuts_plan_evaluations_3x(run_once, tech, record):
+    """The ISSUE acceptance bar: >= 3x fewer ``plan()`` calls at N=128."""
+    sinks, oracle, die = _instance(128)
+
+    def measure():
+        out = {}
+        for limit in (None, 16):
+            tag = "exact" if limit is None else "knn%d" % limit
+            out["%s/uncached" % tag] = _merge(
+                sinks, oracle, die, tech, candidate_limit=limit, **UNCACHED
+            )
+            out["%s/cached" % tag] = _merge(
+                sinks, oracle, die, tech, candidate_limit=limit
+            )
+        return out
+
+    runs = run_once(measure)
+
+    for limit in (None, 16):
+        tag = "exact" if limit is None else "knn%d" % limit
+        plain_m, plain_tree, _ = runs["%s/uncached" % tag]
+        fast_m, fast_tree, _ = runs["%s/cached" % tag]
+        # Accelerations must be invisible: identical traces and trees.
+        assert fast_m.merge_trace == plain_m.merge_trace
+        assert fast_tree.total_wirelength() == plain_tree.total_wirelength()
+        assert (
+            plain_m.stats.plans_computed >= 3 * fast_m.stats.plans_computed
+        ), "plan cache + pruning must cut plan() evaluations by >= 3x"
+
+    record(
+        "complexity_dme_cache",
+        format_merger_stats(
+            {name: m.stats for name, (m, _, _) in runs.items()},
+            title="DME merger work at N=128, cached vs uncached",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_scaling_report(run_once, tech, record):
+    """Wall-clock and plan-count scaling, persisted to the repo root."""
+
+    def measure():
+        rows = []
+        for n in SIZES:
+            sinks, oracle, die = _instance(n)
+            plain_m, plain_tree, plain_t = _merge(
+                sinks, oracle, die, tech, **UNCACHED
+            )
+            fast_m, fast_tree, fast_t = _merge(sinks, oracle, die, tech)
+            assert fast_m.merge_trace == plain_m.merge_trace
+            assert fast_tree.total_wirelength() == plain_tree.total_wirelength()
+            rows.append(
+                {
+                    "sinks": n,
+                    "plans_uncached": plain_m.stats.plans_computed,
+                    "plans_cached": fast_m.stats.plans_computed,
+                    "plan_reduction": plain_m.stats.plans_computed
+                    / max(1, fast_m.stats.plans_computed),
+                    "seconds_uncached": plain_t,
+                    "seconds_cached": fast_t,
+                    "speedup": plain_t / max(fast_t, 1e-9),
+                    "cache_hits": fast_m.stats.plan_cache_hits,
+                    "pruned_probes": fast_m.stats.pruned_probes,
+                }
+            )
+        return rows
+
+    rows = run_once(measure)
+
+    payload = {
+        "bench": "dme_plan_cache_scaling",
+        "cost": "incremental_switched_capacitance_cost",
+        "candidate_limit": None,
+        "sizes": list(SIZES),
+        "rows": rows,
+    }
+    (ROOT / "BENCH_dme_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    record(
+        "complexity_dme_cache_scaling",
+        format_table(
+            [
+                "N",
+                "plans (seed)",
+                "plans (cached)",
+                "reduction",
+                "s (seed)",
+                "s (cached)",
+                "speedup",
+            ],
+            [
+                [
+                    r["sinks"],
+                    r["plans_uncached"],
+                    r["plans_cached"],
+                    r["plan_reduction"],
+                    r["seconds_uncached"],
+                    r["seconds_cached"],
+                    r["speedup"],
+                ]
+                for r in rows
+            ],
+            title="DME plan-cache scaling (exact greedy, gated tree)",
+        ),
+    )
+    for r in rows:
+        assert r["plan_reduction"] >= 3.0

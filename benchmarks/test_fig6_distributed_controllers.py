@@ -6,7 +6,6 @@ wirelength ``G * D / (4 sqrt(k))``, i.e. a 1/sqrt(k) scaling.  The
 bench measures the routed star against that model on r1-r3.
 """
 
-import math
 
 import pytest
 

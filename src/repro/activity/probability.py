@@ -21,7 +21,8 @@ is the correctness claim of paper section 3.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from functools import lru_cache
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -39,9 +40,17 @@ class EnableStatistics:
 
 
 class ActivityOracle:
-    """Table-driven ``P(EN)`` / ``P_tr(EN)`` computation."""
+    """Table-driven ``P(EN)`` / ``P_tr(EN)`` computation.
 
-    def __init__(self, tables: ActivityTables):
+    Results are memoized per module mask (per-instance LRU): the greedy
+    merger probes the same merged subsets over and over -- every
+    candidate scan re-unions the same active masks -- so repeated
+    probes should cost a dictionary hit, not a K^2 matvec.  The cache
+    is exact (keyed on the mask, values immutable) and bounded by
+    ``cache_size`` entries per method.
+    """
+
+    def __init__(self, tables: ActivityTables, cache_size: int = 1 << 16):
         self._tables = tables
         self._masks = tables.isa.masks
         self._ift = tables.ift
@@ -51,6 +60,13 @@ class ActivityOracle:
         #                                = a^T (row + col) - 2 a^T P a.
         self._row = self._pair.sum(axis=1)
         self._col = self._pair.sum(axis=0)
+        self.signal_probability = lru_cache(maxsize=cache_size)(
+            self._signal_probability
+        )
+        self.transition_probability = lru_cache(maxsize=cache_size)(
+            self._transition_probability
+        )
+        self.statistics = lru_cache(maxsize=cache_size)(self._statistics)
 
     @property
     def tables(self) -> ActivityTables:
@@ -60,6 +76,14 @@ class ActivityOracle:
     def isa(self) -> InstructionSet:
         return self._tables.isa
 
+    def cache_info(self) -> Dict[str, Tuple]:
+        """Hit/miss counters of the per-mask memos (for benches)."""
+        return {
+            "signal_probability": self.signal_probability.cache_info(),
+            "transition_probability": self.transition_probability.cache_info(),
+            "statistics": self.statistics.cache_info(),
+        }
+
     def activation_vector(self, module_mask: int) -> np.ndarray:
         """Indicator over instructions: does the instruction wake the set?"""
         return np.fromiter(
@@ -68,7 +92,7 @@ class ActivityOracle:
             count=len(self._masks),
         )
 
-    def signal_probability(self, module_mask: int) -> float:
+    def _signal_probability(self, module_mask: int) -> float:
         """``P(EN)`` for the module subset."""
         if module_mask == 0:
             return 0.0
@@ -76,7 +100,7 @@ class ActivityOracle:
         # Clamp float summation noise: probabilities live in [0, 1].
         return min(max(float(a @ self._ift), 0.0), 1.0)
 
-    def transition_probability(self, module_mask: int) -> float:
+    def _transition_probability(self, module_mask: int) -> float:
         """``P_tr(EN)`` for the module subset."""
         if module_mask == 0:
             return 0.0
@@ -85,7 +109,7 @@ class ActivityOracle:
         # Clamp float noise: a probability must lie in [0, 1].
         return min(max(value, 0.0), 1.0)
 
-    def statistics(self, module_mask: int) -> EnableStatistics:
+    def _statistics(self, module_mask: int) -> EnableStatistics:
         """Both probabilities in one call."""
         if module_mask == 0:
             return EnableStatistics(0.0, 0.0)

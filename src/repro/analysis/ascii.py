@@ -28,7 +28,7 @@ def bar_chart(
     peak = max(values)
     if peak <= 0:
         peak = 1.0
-    label_w = max(len(str(l)) for l in labels)
+    label_w = max(len(str(label)) for label in labels)
     lines: List[str] = []
     if title:
         lines.append(title)

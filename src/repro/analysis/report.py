@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.flow import ClockRoutingResult
+from repro.cts.dme import MergerStats
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,42 @@ def format_comparison(rows: Sequence[ComparisonRow], title: str) -> str:
             r.skew,
         ]
         for r in rows
+    ]
+    return format_table(headers, data, title=title)
+
+
+def format_merger_stats(
+    stats_by_config: Dict[str, MergerStats],
+    title: str = "Merger work counters",
+) -> str:
+    """One row of :class:`~repro.cts.dme.MergerStats` per configuration.
+
+    Used by the DME cache/index scaling bench to show where the plan
+    evaluations of each engine configuration went (computed vs served
+    from the plan cache vs pruned by cost lower bounds).
+    """
+    headers = [
+        "config",
+        "plans",
+        "cache hits",
+        "pruned",
+        "probes",
+        "heap pops",
+        "stale",
+        "index queries",
+    ]
+    data = [
+        [
+            name,
+            s.plans_computed,
+            s.plan_cache_hits,
+            s.pruned_probes,
+            s.cost_probes,
+            s.heap_pops,
+            s.stale_entries,
+            s.index_queries,
+        ]
+        for name, s in stats_by_config.items()
     ]
     return format_table(headers, data, title=title)
 

@@ -25,7 +25,7 @@ partition controller, but the OR tree itself partitions cleanly).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.activity.isa import mask_to_modules
 from repro.cts.topology import ClockTree

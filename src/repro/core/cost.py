@@ -34,6 +34,8 @@ feature is active:
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan
 from repro.cts.topology import ClockNode
 
@@ -47,6 +49,36 @@ def _edge_weight(decision: CellDecision, child: ClockNode, plan: MergePlan) -> f
     if plan.merged_probability is not None:
         return plan.merged_probability
     return 1.0
+
+
+def _decision_weight(
+    decision: CellDecision, child: ClockNode, merged_probability: Optional[float]
+) -> float:
+    """:func:`_edge_weight` without a plan (for cost lower bounds)."""
+    if decision.maskable:
+        return child.enable_probability
+    if decision.cell is not None:
+        return 1.0
+    if merged_probability is not None:
+        return merged_probability
+    return 1.0
+
+
+def _bound_decisions(
+    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
+) -> Tuple[Optional[float], CellDecision, CellDecision]:
+    """The merged probability and cell decisions :meth:`plan` would take.
+
+    Everything here is recomputed exactly as the full plan does (the
+    cell policy is pure and the oracle memoizes per mask), so a lower
+    bound built from these values differs from the true cost only in
+    the wire-length split -- which the bound handles with
+    ``e_a + e_b >= distance``.
+    """
+    merged_probability = merger.merged_probability(na, nb)
+    decision_a = merger.cell_policy.decide(na, merged_probability, distance, merger.tech)
+    decision_b = merger.cell_policy.decide(nb, merged_probability, distance, merger.tech)
+    return merged_probability, decision_a, decision_b
 
 
 def switched_capacitance_cost(plan: MergePlan, merger: BottomUpMerger) -> float:
@@ -69,6 +101,40 @@ def switched_capacitance_cost(plan: MergePlan, merger: BottomUpMerger) -> float:
             star_len = cp.manhattan_to(child.merging_segment.center())
             total += (c * star_len + gate_in) * child.enable_transition_probability
     return total
+
+
+def _eq3_lower_bound(
+    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
+) -> float:
+    """Cheap lower bound of :func:`switched_capacitance_cost`.
+
+    Exact except for the wire split: the subtree-capacitance, gate-pin,
+    and enable-star terms depend only on the two children, and the new
+    wire contributes at least ``distance`` length (splits cover the
+    merging distance; snaking only adds), charged at the smaller of the
+    two edge weights.
+    """
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    cp = merger.controller_point
+    merged_p, decision_a, decision_b = _bound_decisions(merger, na, nb, distance)
+
+    total = 0.0
+    weights = []
+    for child, decision in ((na, decision_a), (nb, decision_b)):
+        weight = _decision_weight(decision, child, merged_p)
+        weights.append(weight)
+        total += a_clk * child.subtree_cap * weight
+        if decision.maskable:
+            star_len = cp.manhattan_to(child.merging_segment.center())
+            total += (c * star_len + gate_in) * child.enable_transition_probability
+    total += a_clk * c * distance * min(weights)
+    return total
+
+
+switched_capacitance_cost.lower_bound = _eq3_lower_bound
 
 
 def incremental_switched_capacitance_cost(
@@ -117,3 +183,37 @@ def incremental_switched_capacitance_cost(
 
 
 incremental_switched_capacitance_cost.needs_merged_probability = True
+
+
+def _incremental_lower_bound(
+    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
+) -> float:
+    """Cheap lower bound of :func:`incremental_switched_capacitance_cost`.
+
+    The pin and enable-star terms are computed exactly (they need no
+    split); the two wire terms are bounded below by the merging
+    distance at the smaller edge weight.
+    """
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    cp = merger.controller_point
+    merged_p, decision_a, decision_b = _bound_decisions(merger, na, nb, distance)
+    pin_p = merged_p if merged_p is not None else 1.0
+
+    total = 0.0
+    weights = []
+    for child, decision in ((na, decision_a), (nb, decision_b)):
+        weights.append(_decision_weight(decision, child, merged_p))
+        if decision.cell is not None:
+            pin_weight = pin_p if decision.maskable else 1.0
+            total += a_clk * decision.cell.input_cap * pin_weight
+        if decision.maskable:
+            star_len = cp.manhattan_to(child.merging_segment.center())
+            total += (c * star_len + gate_in) * child.enable_transition_probability
+    total += a_clk * c * distance * min(weights)
+    return total
+
+
+incremental_switched_capacitance_cost.lower_bound = _incremental_lower_bound

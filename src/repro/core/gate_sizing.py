@@ -17,7 +17,7 @@ trees (where gated/ungated sibling imbalance is the snaking source).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.cts.dme import CellDecision
 from repro.cts.merge import SkewBalanceError, SplitResult, Tap, zero_skew_split

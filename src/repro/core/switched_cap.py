@@ -19,7 +19,7 @@ load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.cts.topology import ClockTree
 from repro.tech.parameters import Technology

@@ -15,7 +15,11 @@ router needs -- and on top of which the paper's gated router
   edits (e.g. physical gate removal);
 * :mod:`repro.cts.dme` -- the deferred-merge embedding engine: a
   generic greedy bottom-up merger with a pluggable pair cost and cell
-  policy, followed by top-down placement of merging segments;
+  policy, followed by top-down placement of merging segments; plans
+  are memoized per active pair and candidate probes are pruned by
+  cost lower bounds without changing any greedy decision;
+* :mod:`repro.cts.candidate_index` -- the uniform-grid spatial index
+  answering the merger's k-nearest-candidate queries;
 * :mod:`repro.cts.nearest_neighbor` -- the nearest-neighbour pair cost
   (Edahiro-style), used by the baseline;
 * :mod:`repro.cts.buffered` -- the buffered zero-skew clock tree the
@@ -25,7 +29,8 @@ router needs -- and on top of which the paper's gated router
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.cts.merge import SkewBalanceError, SplitResult, Tap, zero_skew_split
 from repro.cts.bounded import SkewBoundError, bounded_skew_split
-from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan
+from repro.cts.candidate_index import SegmentGridIndex
+from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan, MergerStats
 from repro.cts.buffered import build_buffered_tree
 from repro.cts.reembed import reembed
 
@@ -33,6 +38,7 @@ __all__ = [
     "ClockNode",
     "ClockTree",
     "Sink",
+    "SegmentGridIndex",
     "SkewBalanceError",
     "SkewBoundError",
     "SplitResult",
@@ -42,6 +48,7 @@ __all__ = [
     "BottomUpMerger",
     "CellDecision",
     "MergePlan",
+    "MergerStats",
     "build_buffered_tree",
     "reembed",
 ]

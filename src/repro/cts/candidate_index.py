@@ -1,0 +1,192 @@
+"""Spatial candidate index for the greedy merger's k-nearest queries.
+
+During bottom-up merging every active subtree root carries a merging
+segment (a Manhattan arc, stored as a degenerate
+:class:`~repro.geometry.trr.Trr`).  With a ``candidate_limit`` the
+greedy engine repeatedly needs, for one segment, its ``k`` nearest
+active segments -- previously a full sort of all active nodes,
+O(N log N) per query.
+
+:class:`SegmentGridIndex` answers the same query from a uniform grid
+over segment *centers* in the rotated ``(u, v) = (x + y, x - y)``
+coordinates, where Manhattan distance in the layout becomes the
+Chebyshev (L-infinity) distance, so grid rings are square and the ring
+radius is a true distance bound.  A query expands rings of cells
+around the query center, collecting candidates with their **exact**
+segment-to-segment distances, until the ring bound proves that no
+unscanned segment can still enter the result:
+
+``dist(q, s) >= Linf(center_q, center_s) - rad_q - rad_s
+            >= r * cell - rad_q - max_rad``
+
+after completing ring ``r`` (``rad`` is a segment's half-extent; the
+index keeps a high-water maximum over inserted segments, which stays a
+valid -- merely conservative -- bound after removals).
+
+Results are ranked by ``(exact distance, id)``, byte-identical to the
+full-sort implementation the merger used before, so switching to the
+index cannot change any greedy decision.  The expansion stops only
+when the bound *strictly* exceeds the k-th best distance, so distance
+ties are still broken by id exactly as the sort did.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.geometry.trr import Trr
+
+
+class SegmentGridIndex:
+    """Uniform grid over merging-segment centers with ring expansion.
+
+    Parameters
+    ----------
+    cell_size:
+        Grid pitch in the rotated coordinates.  Any positive value is
+        correct; a pitch near the typical nearest-neighbour spacing
+        makes queries touch O(k) cells.
+    """
+
+    def __init__(self, cell_size: float):
+        if not cell_size > 0.0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._segments: Dict[int, Trr] = {}
+        self._cells: Dict[Tuple[int, int], Set[int]] = {}
+        self._cell_of: Dict[int, Tuple[int, int]] = {}
+        #: High-water half-extent of any segment ever inserted.  Never
+        #: lowered on removal: a too-large value only delays the stop
+        #: condition, it cannot make a query inexact.
+        self._max_radius = 0.0
+        # High-water bounding box of occupied cells, for termination.
+        self._bounds: Optional[List[int]] = None  # [ulo, uhi, vlo, vhi]
+        #: Query counters (read by the merger's ``MergerStats``).
+        self.queries = 0
+        self.cells_scanned = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._segments
+
+    @staticmethod
+    def _center(segment: Trr) -> Tuple[float, float]:
+        return (
+            (segment.ulo + segment.uhi) / 2.0,
+            (segment.vlo + segment.vhi) / 2.0,
+        )
+
+    @staticmethod
+    def _radius(segment: Trr) -> float:
+        return max(segment.u_extent, segment.v_extent) / 2.0
+
+    def _cell(self, u: float, v: float) -> Tuple[int, int]:
+        return (
+            int(math.floor(u / self.cell_size)),
+            int(math.floor(v / self.cell_size)),
+        )
+
+    def insert(self, item_id: int, segment: Trr) -> None:
+        """Register an active segment under ``item_id``."""
+        if item_id in self._segments:
+            raise ValueError("id %d is already indexed" % item_id)
+        u, v = self._center(segment)
+        cell = self._cell(u, v)
+        self._segments[item_id] = segment
+        self._cell_of[item_id] = cell
+        self._cells.setdefault(cell, set()).add(item_id)
+        self._max_radius = max(self._max_radius, self._radius(segment))
+        if self._bounds is None:
+            self._bounds = [cell[0], cell[0], cell[1], cell[1]]
+        else:
+            b = self._bounds
+            b[0] = min(b[0], cell[0])
+            b[1] = max(b[1], cell[0])
+            b[2] = min(b[2], cell[1])
+            b[3] = max(b[3], cell[1])
+
+    def remove(self, item_id: int) -> None:
+        """Drop a retired segment from the index."""
+        if item_id not in self._segments:
+            raise KeyError(item_id)
+        del self._segments[item_id]
+        cell = self._cell_of.pop(item_id)
+        bucket = self._cells[cell]
+        bucket.discard(item_id)
+        if not bucket:
+            del self._cells[cell]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _ring(self, cu: int, cv: int, r: int) -> Iterator[Tuple[int, int]]:
+        """Cells at Chebyshev distance exactly ``r``, clamped to bounds."""
+        b = self._bounds
+        if b is None:
+            return
+        if r == 0:
+            if b[0] <= cu <= b[1] and b[2] <= cv <= b[3]:
+                yield (cu, cv)
+            return
+        ulo, uhi = max(cu - r, b[0]), min(cu + r, b[1])
+        for gv in (cv - r, cv + r):
+            if b[2] <= gv <= b[3]:
+                for gu in range(ulo, uhi + 1):
+                    yield (gu, gv)
+        vlo, vhi = max(cv - r + 1, b[2]), min(cv + r - 1, b[3])
+        for gu in (cu - r, cu + r):
+            if b[0] <= gu <= b[1]:
+                for gv in range(vlo, vhi + 1):
+                    yield (gu, gv)
+
+    def nearest(
+        self, segment: Trr, k: int, exclude: Optional[int] = None
+    ) -> List[int]:
+        """The ``k`` indexed segments nearest to ``segment``.
+
+        Ranked by ``(Trr.distance_to, id)`` -- exactly the order a full
+        sort over all indexed segments would produce.  ``exclude``
+        omits one id (the querying node itself when it is indexed).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.queries += 1
+        total = len(self._segments) - (1 if exclude in self._segments else 0)
+        if total <= 0:
+            return []
+        qu, qv = self._center(segment)
+        q_rad = self._radius(segment)
+        cu, cv = self._cell(qu, qv)
+        found: List[Tuple[float, int]] = []
+        r = 0
+        while True:
+            for cell in self._ring(cu, cv, r):
+                bucket = self._cells.get(cell)
+                if not bucket:
+                    continue
+                self.cells_scanned += 1
+                for iid in bucket:
+                    if iid == exclude:
+                        continue
+                    found.append((segment.distance_to(self._segments[iid]), iid))
+            if len(found) >= total:
+                break
+            if len(found) >= k:
+                found.sort()
+                # After ring r every unscanned center is > r*cell away
+                # (strictly, >= r*cell measured from the query point's
+                # own cell); subtract both half-extents for a segment
+                # distance bound.  Stop only on a *strict* win so that
+                # equal-distance ties are still resolved by id.
+                bound = r * self.cell_size - q_rad - self._max_radius
+                if bound > found[k - 1][0]:
+                    break
+            r += 1
+        found.sort()
+        return [iid for _, iid in found[:k]]

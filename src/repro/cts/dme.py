@@ -21,16 +21,42 @@ greedy (same result as scanning all pairs each round) in roughly
 O(N^2) cost evaluations.  An optional ``candidate_limit`` restricts
 each node's candidates to its k geometrically nearest neighbours --
 the speed/quality trade-off explored in the ablation bench.
+
+Three switchable optimizations accelerate the loop without changing a
+single greedy decision (``merge_trace`` is byte-identical with them on
+or off; the tests assert this):
+
+* a **merge-plan cache** memoizes :meth:`BottomUpMerger.plan` per
+  *ordered* active pair (ordered, so a hit returns the exact floats an
+  uncached call would have produced) and is invalidated when either
+  side retires; the winning plan is reused at commit instead of being
+  recomputed;
+* a **spatial candidate index**
+  (:class:`repro.cts.candidate_index.SegmentGridIndex`) answers the
+  k-nearest-candidate queries of ``candidate_limit`` runs from a
+  uniform grid instead of a full O(N log N) sort per query;
+* **lower-bound pruning** skips full plan evaluations for candidates
+  whose cheap cost lower bound (``cost.lower_bound``, see
+  :mod:`repro.core.cost`) proves they cannot beat the current best.
+  Bounds are shrunk by a relative margin far larger than accumulated
+  float rounding, so a true winner can never be pruned by an
+  ulp-level tie.
+
+:class:`MergerStats` counts plans, cache hits, heap traffic, index
+queries, and pruned probes; the scaling bench
+(``benchmarks/test_complexity_dme_cache.py``) records them.
 """
 
 from __future__ import annotations
 
 import heapq
 import logging
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.activity.probability import ActivityOracle
+from repro.cts.candidate_index import SegmentGridIndex
 from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.geometry.point import Point
@@ -50,7 +76,12 @@ class CellDecision:
 
 
 class CellPolicy:
-    """Decides the cell on each new edge during bottom-up merging."""
+    """Decides the cell on each new edge during bottom-up merging.
+
+    ``decide`` must be a pure function of its arguments: the merger may
+    call it more than once per candidate pair (e.g. from a cost lower
+    bound) and caches the resulting plans.
+    """
 
     needs_merged_probability = False
     """Set True when :meth:`decide` uses the merged node's P(EN)."""
@@ -100,14 +131,64 @@ class MergePlan:
     merged_probability: Optional[float]
 
 
+@dataclass
+class MergerStats:
+    """Counters of the greedy engine's work, for benches and reports.
+
+    ``plans_computed`` is the number of full :meth:`BottomUpMerger.plan`
+    evaluations (zero-skew split + oracle statistics); everything the
+    caching/pruning layers save shows up as ``plan_cache_hits`` and
+    ``pruned_probes`` instead.
+    """
+
+    plans_computed: int = 0
+    plan_cache_hits: int = 0
+    heap_pops: int = 0
+    stale_entries: int = 0
+    index_queries: int = 0
+    pruned_probes: int = 0
+
+    @property
+    def cost_probes(self) -> int:
+        """Pair-cost requests answered (computed, cached, or pruned)."""
+        return self.plans_computed + self.plan_cache_hits + self.pruned_probes
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "plans_computed": self.plans_computed,
+            "plan_cache_hits": self.plan_cache_hits,
+            "heap_pops": self.heap_pops,
+            "stale_entries": self.stale_entries,
+            "index_queries": self.index_queries,
+            "pruned_probes": self.pruned_probes,
+            "cost_probes": self.cost_probes,
+        }
+
+
 PairCost = Callable[["MergePlan", "BottomUpMerger"], float]
 
 logger = logging.getLogger(__name__)
+
+#: Relative shrink applied to cost lower bounds before they are allowed
+#: to prune a candidate.  Rounding between a bound and the exact cost
+#: differs by at most a few ulps (~1e-15 relative); the margin is a
+#: thousand times that, yet negligible against any real cost gap.
+_LOWER_BOUND_MARGIN = 1.0 - 1e-12
 
 
 def nearest_neighbor_cost(plan: MergePlan, merger: "BottomUpMerger") -> float:
     """Geometric distance between merging segments (Edahiro-style)."""
     return plan.distance
+
+
+def _nearest_neighbor_lower_bound(
+    merger: "BottomUpMerger", na: ClockNode, nb: ClockNode, distance: float
+) -> float:
+    """The distance *is* the cost, so the bound is exact."""
+    return distance
+
+
+nearest_neighbor_cost.lower_bound = _nearest_neighbor_lower_bound
 
 
 class BottomUpMerger:
@@ -137,7 +218,14 @@ class BottomUpMerger:
         Optional sizing hook (e.g.
         :class:`repro.core.gate_sizing.GateSizingPolicy`): given a
         merge whose unit-size split snakes, it may resize the new
-        edges' cells to balance the delays with less wire.
+        edges' cells to balance the delays with less wire.  Sizing may
+        swap cells after the split, which invalidates the pin terms of
+        cost lower bounds, so it disables lower-bound pruning.
+    plan_cache / cost_pruning / spatial_index:
+        Debug flags for the three optimization layers (all on by
+        default).  Turning any of them off changes no greedy decision,
+        only how much work the engine does; the determinism tests and
+        the scaling bench run both settings and compare traces.
     """
 
     def __init__(
@@ -151,6 +239,9 @@ class BottomUpMerger:
         candidate_limit: Optional[int] = None,
         cell_sizer=None,
         skew_bound: float = 0.0,
+        plan_cache: bool = True,
+        cost_pruning: bool = True,
+        spatial_index: bool = True,
     ):
         if not sinks:
             raise ValueError("at least one sink is required")
@@ -169,6 +260,14 @@ class BottomUpMerger:
             self.cell_policy.needs_merged_probability
             or getattr(cost, "needs_merged_probability", False)
         )
+        self.stats = MergerStats()
+        self._plan_cache_enabled = plan_cache
+        self._plan_cache: Dict[Tuple[int, int], MergePlan] = {}
+        self._plan_partners: Dict[int, Set[int]] = {}
+        self._lower_bound = getattr(cost, "lower_bound", None)
+        self._prune = bool(
+            cost_pruning and self._lower_bound is not None and cell_sizer is None
+        )
         self.tree = ClockTree(tech)
         for sink in sinks:
             node = self.tree.add_leaf(sink)
@@ -184,17 +283,41 @@ class BottomUpMerger:
             )
         self.controller_point = controller_point
         self._active: Set[int] = set(range(len(sinks)))
-        self._best: Dict[int, Tuple[float, int]] = {}
+        self._best: Dict[int, Tuple[float, int, int]] = {}
         self._reverse: Dict[int, Set[int]] = {}
-        self._heap: List[Tuple[float, int]] = []
+        self._heap: List[Tuple[float, int, int]] = []
+        self._generation = 0
+        self._index: Optional[SegmentGridIndex] = None
+        if spatial_index and candidate_limit is not None and len(sinks) > 1:
+            self._index = SegmentGridIndex(self._index_cell_size(sinks))
+            for nid in self._active:
+                self._index.insert(nid, self.tree.node(nid).merging_segment)
         self.merge_trace: List[Tuple[int, int, int]] = []
         """(left, right, merged) triples, in merge order -- for tests."""
+
+    @staticmethod
+    def _index_cell_size(sinks: Sequence[Sink]) -> float:
+        """Grid pitch near the expected nearest-neighbour spacing."""
+        us = [s.location.u for s in sinks]
+        vs = [s.location.v for s in sinks]
+        span = max(max(us) - min(us), max(vs) - min(vs))
+        if span <= 0.0:
+            return 1.0
+        return span / max(1.0, math.sqrt(len(sinks)))
 
     # ------------------------------------------------------------------
     # planning and executing a single merge
     # ------------------------------------------------------------------
+    def merged_probability(self, na: ClockNode, nb: ClockNode) -> Optional[float]:
+        """``P(EN)`` of the union module set, exactly as :meth:`plan`
+        computes it (``None`` when the cost/policy does not need it)."""
+        if self._needs_merged_probability and self.oracle is not None:
+            return self.oracle.signal_probability(na.module_mask | nb.module_mask)
+        return None
+
     def plan(self, a_id: int, b_id: int) -> MergePlan:
         """Evaluate the merge of two active subtrees without committing."""
+        self.stats.plans_computed += 1
         na, nb = self.tree.node(a_id), self.tree.node(b_id)
         distance = na.merging_segment.distance_to(nb.merging_segment)
         merged_mask = na.module_mask | nb.module_mask
@@ -247,6 +370,41 @@ class BottomUpMerger:
             merged_probability=merged_probability,
         )
 
+    def _plan_pair(self, a_id: int, b_id: int) -> MergePlan:
+        """:meth:`plan` through the memo.
+
+        Keys are *ordered* pairs: ``plan(a, b)`` and ``plan(b, a)``
+        agree to rounding but not bit-for-bit (the split solves for the
+        other side's edge first), and a cache must never change any
+        float an uncached run would have produced.
+        """
+        if not self._plan_cache_enabled:
+            return self.plan(a_id, b_id)
+        key = (a_id, b_id)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self.stats.plan_cache_hits += 1
+            return cached
+        plan = self.plan(a_id, b_id)
+        self._plan_cache[key] = plan
+        self._plan_partners.setdefault(a_id, set()).add(b_id)
+        self._plan_partners.setdefault(b_id, set()).add(a_id)
+        return plan
+
+    def _invalidate_plans(self, nid: int) -> None:
+        """Drop every cached plan involving a retired node."""
+        partners = self._plan_partners.pop(nid, None)
+        if not partners:
+            return
+        for other in partners:
+            self._plan_cache.pop((nid, other), None)
+            self._plan_cache.pop((other, nid), None)
+            remaining = self._plan_partners.get(other)
+            if remaining is not None:
+                remaining.discard(nid)
+                if not remaining:
+                    del self._plan_partners[other]
+
     def execute(self, plan: MergePlan) -> ClockNode:
         """Commit a planned merge: create the internal node."""
         na, nb = self.tree.node(plan.a_id), self.tree.node(plan.b_id)
@@ -277,29 +435,74 @@ class BottomUpMerger:
     # greedy pair selection
     # ------------------------------------------------------------------
     def _pair_cost(self, a_id: int, b_id: int) -> float:
-        return self.cost(self.plan(a_id, b_id), self)
+        return self.cost(self._plan_pair(a_id, b_id), self)
 
     def _candidates_for(self, nid: int) -> List[int]:
-        others = [o for o in self._active if o != nid]
         limit = self.candidate_limit
-        if limit is None or len(others) <= limit:
-            return others
+        if limit is None or len(self._active) - (nid in self._active) <= limit:
+            return [o for o in self._active if o != nid]
         ms = self.tree.node(nid).merging_segment
+        if self._index is not None:
+            self.stats.index_queries += 1
+            return self._index.nearest(ms, limit, exclude=nid)
+        others = [o for o in self._active if o != nid]
         others.sort(key=lambda o: (ms.distance_to(self.tree.node(o).merging_segment), o))
         return others[:limit]
+
+    def _ranked_candidates(self, nid: int) -> List[Tuple[Optional[float], int]]:
+        """Candidates as ``(cost lower bound, id)``, cheapest bound first.
+
+        Without pruning the bound is ``None`` and the original candidate
+        order is kept.
+        """
+        candidates = self._candidates_for(nid)
+        if not self._prune:
+            return [(None, o) for o in candidates]
+        node = self.tree.node(nid)
+        ms = node.merging_segment
+        scored = []
+        for other in candidates:
+            peer = self.tree.node(other)
+            bound = self._lower_bound(
+                self, node, peer, ms.distance_to(peer.merging_segment)
+            )
+            scored.append((bound * _LOWER_BOUND_MARGIN, other))
+        scored.sort()
+        return scored
 
     def _set_best(self, nid: int, cost: float, partner: int) -> None:
         old = self._best.get(nid)
         if old is not None:
             self._reverse.get(old[1], set()).discard(nid)
-        self._best[nid] = (cost, partner)
+        self._generation += 1
+        self._best[nid] = (cost, partner, self._generation)
         self._reverse.setdefault(partner, set()).add(nid)
-        heapq.heappush(self._heap, (cost, nid))
+        heapq.heappush(self._heap, (cost, nid, self._generation))
 
-    def _recompute_best(self, nid: int) -> None:
+    def _recompute_best(self, nid: int, canonical: bool = False) -> None:
+        """Re-scan a node's candidates for its cheapest partner.
+
+        ``canonical`` evaluates each pair in ``(min id, max id)``
+        orientation -- used by the exact-greedy initialization so the
+        pruned per-node scans reproduce, bit for bit, the costs the
+        shared all-pairs loop would have produced (``plan(a, b)`` and
+        ``plan(b, a)`` agree only to rounding).
+        """
         best_cost, best_partner = None, None
-        for other in self._candidates_for(nid):
-            cost = self._pair_cost(nid, other)
+        ranked = self._ranked_candidates(nid)
+        for i, (bound, other) in enumerate(ranked):
+            if (
+                bound is not None
+                and best_cost is not None
+                and (bound, other) >= (best_cost, best_partner)
+            ):
+                # Ranked by bound, so no later candidate can win either.
+                self.stats.pruned_probes += len(ranked) - i
+                break
+            if canonical and other < nid:
+                cost = self._pair_cost(other, nid)
+            else:
+                cost = self._pair_cost(nid, other)
             if best_cost is None or (cost, other) < (best_cost, best_partner):
                 best_cost, best_partner = cost, other
         if best_partner is None:
@@ -309,8 +512,15 @@ class BottomUpMerger:
 
     def _initialize_best(self) -> None:
         if self.candidate_limit is not None:
-            for nid in self._active:
+            for nid in sorted(self._active):
                 self._recompute_best(nid)
+            return
+        if self._prune:
+            # Same outcome as the all-pairs loop below (canonical pair
+            # orientation keeps every cost float identical), but the
+            # lower-bound pruning skips almost every plan evaluation.
+            for nid in sorted(self._active):
+                self._recompute_best(nid, canonical=True)
             return
         ids = sorted(self._active)
         best: Dict[int, Tuple[float, int]] = {}
@@ -326,12 +536,15 @@ class BottomUpMerger:
 
     def _pop_valid_pair(self) -> Tuple[int, int]:
         while self._heap:
-            cost, nid = heapq.heappop(self._heap)
+            cost, nid, generation = heapq.heappop(self._heap)
+            self.stats.heap_pops += 1
             if nid not in self._active:
+                self.stats.stale_entries += 1
                 continue
             current = self._best.get(nid)
-            if current is None or current[0] != cost:
-                continue  # stale heap entry
+            if current is None or current[2] != generation:
+                self.stats.stale_entries += 1
+                continue  # superseded by a newer _set_best
             partner = current[1]
             if partner not in self._active:
                 self._recompute_best(nid)
@@ -343,19 +556,34 @@ class BottomUpMerger:
         """Deactivate a node; return nodes that pointed at it."""
         self._active.discard(nid)
         self._best.pop(nid, None)
+        self._invalidate_plans(nid)
+        if self._index is not None and nid in self._index:
+            self._index.remove(nid)
         return self._reverse.pop(nid, set())
 
     def _introduce(self, merged_id: int) -> None:
         """Register a new subtree and refresh neighbours' best pairs."""
         best_cost, best_partner = None, None
-        for other in self._candidates_for(merged_id):
+        for bound, other in self._ranked_candidates(merged_id):
+            if bound is not None:
+                need_self = best_cost is None or (bound, other) < (
+                    best_cost,
+                    best_partner,
+                )
+                current = self._best.get(other)
+                need_other = current is None or bound < current[0]
+                if not (need_self or need_other):
+                    self.stats.pruned_probes += 1
+                    continue
             cost = self._pair_cost(merged_id, other)
             if best_cost is None or (cost, other) < (best_cost, best_partner):
                 best_cost, best_partner = cost, other
             current = self._best.get(other)
-            if current is None or (cost, merged_id) < current:
+            if current is None or (cost, merged_id) < (current[0], current[1]):
                 self._set_best(other, cost, merged_id)
         self._active.add(merged_id)
+        if self._index is not None:
+            self._index.insert(merged_id, self.tree.node(merged_id).merging_segment)
         if best_partner is not None:
             self._set_best(merged_id, best_cost, best_partner)
 
@@ -382,7 +610,7 @@ class BottomUpMerger:
         self._initialize_best()
         while len(self._active) > 1:
             a_id, b_id = self._pop_valid_pair()
-            plan = self.plan(a_id, b_id)
+            plan = self._plan_pair(a_id, b_id)
             merged = self.execute(plan)
             orphans = (self._retire(a_id) | self._retire(b_id)) & self._active
             self._introduce(merged.id)
@@ -393,12 +621,14 @@ class BottomUpMerger:
         (root,) = self._active
         self.tree.set_root(root)
         self._place()
-        logger.debug(
-            "tree built: wirelength %.4g, %d gates, root delay %.4g",
-            self.tree.total_wirelength(),
-            self.tree.gate_count(),
-            self.tree.root.sink_delay,
-        )
+        if logger.isEnabledFor(logging.DEBUG):
+            # Guarded: these arguments walk the whole tree.
+            logger.debug(
+                "tree built: wirelength %.4g, %d gates, root delay %.4g",
+                self.tree.total_wirelength(),
+                self.tree.gate_count(),
+                self.tree.root.sink_delay,
+            )
         return self.tree
 
     def _place(self) -> None:

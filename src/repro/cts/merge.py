@@ -216,10 +216,21 @@ def merge_regions(ms_a: Trr, ms_b: Trr, split: SplitResult) -> Trr:
     core_a = ms_a.core(split.length_a)
     core_b = ms_b.core(split.length_b)
     region = core_a.intersection(core_b)
+    tol = 0.0
     if region is None:
         # Floating-point slack: retry with a tolerance scaled to size.
         tol = 1e-9 * (1.0 + split.total_length + ms_a.distance_to(ms_b))
         region = core_a.intersection(core_b, tol=tol)
     if region is None:
-        raise ValueError("cores do not intersect; split does not cover the distance")
+        raise ValueError(
+            "cores do not intersect; split does not cover the distance: "
+            "segment a=[u %g..%g, v %g..%g] expanded by e_a=%g and "
+            "segment b=[u %g..%g, v %g..%g] expanded by e_b=%g "
+            "(segment distance %g, split total %g, snaked=%r, tol=%g)"
+            % (
+                ms_a.ulo, ms_a.uhi, ms_a.vlo, ms_a.vhi, split.length_a,
+                ms_b.ulo, ms_b.uhi, ms_b.vlo, ms_b.vhi, split.length_b,
+                ms_a.distance_to(ms_b), split.total_length, split.snaked, tol,
+            )
+        )
     return region

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Sequence, TextIO, Union
+from typing import List, TextIO, Union
 
 import numpy as np
 

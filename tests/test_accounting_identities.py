@@ -14,7 +14,7 @@ from repro.core.switched_cap import clock_tree_switched_cap
 from repro.cts import BottomUpMerger, Sink
 from repro.cts.dme import GateEveryEdgePolicy
 from repro.geometry import Point
-from repro.tech import GateModel, Technology, unit_technology
+from repro.tech import Technology, unit_technology
 
 
 def rng_setup(n=14, seed=3):

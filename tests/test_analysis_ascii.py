@@ -50,7 +50,7 @@ class TestLineChart:
 
     def test_extremes_plotted_at_corners(self):
         chart = line_chart([(0, 0), (10, 5)], width=10, height=4)
-        grid_lines = [l for l in chart.splitlines() if l.startswith("|")]
+        grid_lines = [line for line in chart.splitlines() if line.startswith("|")]
         assert grid_lines[0].rstrip().endswith("*")  # max y at right
         assert grid_lines[-1][1] == "*"  # min y at left
 

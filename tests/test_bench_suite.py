@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench.suite import (
-    BenchmarkCase,
     bench_scale,
     benchmark_names,
     load_benchmark,

@@ -71,7 +71,6 @@ class TestEq3Cost:
         assert cost == pytest.approx(6.0 + 1.0)
 
     def test_idle_pair_cheaper_than_busy_pair(self):
-        oracle = oracle_from_bits([1, 1, 1, 1], [0, 0, 0, 0])
         # Four sinks: two on module 0 (busy)... modules are 1:1 with
         # sinks, so instead compare a busy-busy pair with an idle-idle
         # pair through two separate two-sink problems.

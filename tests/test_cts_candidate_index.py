@@ -1,0 +1,156 @@
+"""Unit and property tests for the spatial candidate index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cts.candidate_index import SegmentGridIndex
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+
+def brute_force_nearest(segments, query, k, exclude=None):
+    ranked = sorted(
+        (query.distance_to(seg), iid)
+        for iid, seg in segments.items()
+        if iid != exclude
+    )
+    return [iid for _, iid in ranked[:k]]
+
+
+def random_segments(rng, n, span=100.0, max_arc=15.0):
+    """id -> Trr map of random points and Manhattan arcs."""
+    segments = {}
+    for iid in range(n):
+        p = Point(rng.uniform(0, span), rng.uniform(0, span))
+        if rng.random() < 0.5:
+            segments[iid] = Trr.from_point(p)
+        else:
+            length = rng.uniform(0.0, max_arc)
+            if rng.random() < 0.5:
+                seg = Trr(p.u, p.u + length, p.v, p.v)
+            else:
+                seg = Trr(p.u, p.u, p.v, p.v + length)
+            segments[iid] = seg
+    return segments
+
+
+class TestMaintenance:
+    def test_insert_remove_contains(self):
+        index = SegmentGridIndex(10.0)
+        index.insert(3, Trr.from_point(Point(1, 2)))
+        assert 3 in index and len(index) == 1
+        index.remove(3)
+        assert 3 not in index and len(index) == 0
+
+    def test_duplicate_insert_rejected(self):
+        index = SegmentGridIndex(10.0)
+        index.insert(1, Trr.from_point(Point(0, 0)))
+        with pytest.raises(ValueError):
+            index.insert(1, Trr.from_point(Point(5, 5)))
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(KeyError):
+            SegmentGridIndex(10.0).remove(7)
+
+    def test_bad_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentGridIndex(0.0)
+
+    def test_bad_k_rejected(self):
+        index = SegmentGridIndex(1.0)
+        index.insert(0, Trr.from_point(Point(0, 0)))
+        with pytest.raises(ValueError):
+            index.nearest(Trr.from_point(Point(0, 0)), 0)
+
+    def test_empty_query(self):
+        index = SegmentGridIndex(1.0)
+        assert index.nearest(Trr.from_point(Point(0, 0)), 3) == []
+
+    def test_query_counters_advance(self):
+        index = SegmentGridIndex(10.0)
+        for i in range(5):
+            index.insert(i, Trr.from_point(Point(i, 0)))
+        before = index.queries
+        index.nearest(Trr.from_point(Point(0, 0)), 2)
+        assert index.queries == before + 1
+
+
+class TestExactness:
+    @pytest.mark.parametrize("cell_size", [0.5, 3.0, 17.0, 200.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, cell_size, seed):
+        rng = np.random.default_rng(seed)
+        segments = random_segments(rng, 60)
+        index = SegmentGridIndex(cell_size)
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+        for _ in range(30):
+            q = Trr.from_point(Point(rng.uniform(-20, 120), rng.uniform(-20, 120)))
+            k = int(rng.integers(1, 12))
+            assert index.nearest(q, k) == brute_force_nearest(segments, q, k)
+
+    def test_exclude_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        segments = random_segments(rng, 40)
+        index = SegmentGridIndex(5.0)
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+        for iid in (0, 7, 39):
+            got = index.nearest(segments[iid], 5, exclude=iid)
+            assert got == brute_force_nearest(segments, segments[iid], 5, exclude=iid)
+
+    def test_k_larger_than_population(self):
+        segments = {i: Trr.from_point(Point(i, i)) for i in range(4)}
+        index = SegmentGridIndex(1.0)
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+        assert index.nearest(Trr.from_point(Point(0, 0)), 10) == [0, 1, 2, 3]
+
+    def test_distance_ties_break_by_id(self):
+        # Four points at identical distance from the origin query.
+        index = SegmentGridIndex(2.0)
+        for iid, (x, y) in enumerate([(5, 0), (-5, 0), (0, 5), (0, -5)]):
+            index.insert(iid, Trr.from_point(Point(x, y)))
+        assert index.nearest(Trr.from_point(Point(0, 0)), 2) == [0, 1]
+
+    def test_dynamic_updates_stay_exact(self):
+        rng = np.random.default_rng(4)
+        segments = random_segments(rng, 50)
+        index = SegmentGridIndex(8.0)
+        alive = {}
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+            alive[iid] = seg
+        for iid in range(0, 50, 3):
+            index.remove(iid)
+            del alive[iid]
+        q = Trr.from_point(Point(50, 50))
+        assert index.nearest(q, 8) == brute_force_nearest(alive, q, 8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(
+            st.integers(min_value=-50, max_value=50),
+            st.integers(min_value=-50, max_value=50),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    k=st.integers(min_value=1, max_value=8),
+    cell=st.sampled_from([0.7, 2.0, 9.0, 40.0]),
+)
+def test_property_matches_brute_force(coords, k, cell):
+    # Integer coordinates force plenty of exact distance ties, the
+    # hardest case for the ring-expansion stop condition.
+    segments = {i: Trr.from_point(Point(x, y)) for i, (x, y) in enumerate(coords)}
+    index = SegmentGridIndex(cell)
+    for iid, seg in segments.items():
+        index.insert(iid, seg)
+    query = Trr.from_point(Point(*coords[0]))
+    assert index.nearest(query, k, exclude=0) == brute_force_nearest(
+        segments, query, k, exclude=0
+    )

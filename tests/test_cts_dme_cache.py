@@ -1,0 +1,275 @@
+"""Determinism and accounting tests for the merger's caching layer.
+
+The plan cache, the cost lower-bound pruning, and the spatial candidate
+index are pure accelerations: every greedy decision -- and therefore the
+``merge_trace`` and the embedded tree -- must be *byte-identical* with
+each of them on or off.  These tests pin that invariant, plus the
+``MergerStats`` accounting and the lower-bound soundness the pruning
+relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import paper_example_isa, paper_example_stream
+from repro.core.cost import (
+    incremental_switched_capacitance_cost,
+    switched_capacitance_cost,
+)
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.dme import GateEveryEdgePolicy, nearest_neighbor_cost
+from repro.geometry import Point
+from repro.tech import unit_technology
+
+NUM_MODULES = 6  # paper_example_isa()
+
+
+def make_sinks(n, seed=0, span=200.0):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, span, n)
+    ys = rng.uniform(0, span, n)
+    return [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=1.0, module=i % NUM_MODULES)
+        for i, (x, y) in enumerate(zip(xs, ys))
+    ]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    isa = paper_example_isa()
+    stream = InstructionStream(ids=np.array(paper_example_stream()))
+    return ActivityOracle(ActivityTables.from_stream(isa, stream))
+
+
+def build(sinks, oracle=None, cost=None, candidate_limit=None, **flags):
+    kwargs = dict(candidate_limit=candidate_limit, **flags)
+    if cost is not None:
+        kwargs["cost"] = cost
+    if oracle is not None:
+        kwargs["oracle"] = oracle
+        kwargs["cell_policy"] = GateEveryEdgePolicy()
+        kwargs["controller_point"] = Point(0.0, 0.0)
+    return BottomUpMerger(sinks, unit_technology(), **kwargs)
+
+
+def run_config(sinks, **kwargs):
+    merger = build(sinks, **kwargs)
+    tree = merger.run()
+    return merger, merger.merge_trace, tree.total_wirelength()
+
+
+ALL_OFF = dict(plan_cache=False, cost_pruning=False, spatial_index=False)
+
+
+class TestDeterminism:
+    """Traces and wirelength are bit-identical under every flag setting."""
+
+    @pytest.mark.parametrize("limit", [None, 4])
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            dict(plan_cache=True, cost_pruning=False, spatial_index=False),
+            dict(plan_cache=False, cost_pruning=True, spatial_index=False),
+            dict(plan_cache=False, cost_pruning=False, spatial_index=True),
+            dict(plan_cache=True, cost_pruning=True, spatial_index=True),
+        ],
+        ids=["cache-only", "pruning-only", "index-only", "all-on"],
+    )
+    def test_oracle_cost_trace_identical(self, oracle, limit, flags):
+        sinks = make_sinks(40, seed=11)
+        _, base_trace, base_wl = run_config(
+            sinks,
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+            candidate_limit=limit,
+            **ALL_OFF,
+        )
+        _, trace, wl = run_config(
+            sinks,
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+            candidate_limit=limit,
+            **flags,
+        )
+        assert trace == base_trace  # exact, including float costs
+        assert wl == base_wl
+
+    @pytest.mark.parametrize("limit", [None, 4])
+    def test_eq3_cost_trace_identical(self, oracle, limit):
+        sinks = make_sinks(36, seed=12)
+        _, base_trace, base_wl = run_config(
+            sinks,
+            oracle=oracle,
+            cost=switched_capacitance_cost,
+            candidate_limit=limit,
+            **ALL_OFF,
+        )
+        _, trace, wl = run_config(
+            sinks, oracle=oracle, cost=switched_capacitance_cost, candidate_limit=limit
+        )
+        assert trace == base_trace
+        assert wl == base_wl
+
+    @pytest.mark.parametrize("limit", [None, 4])
+    def test_nn_cost_trace_identical(self, limit):
+        sinks = make_sinks(48, seed=13)
+        _, base_trace, base_wl = run_config(
+            sinks, cost=nearest_neighbor_cost, candidate_limit=limit, **ALL_OFF
+        )
+        _, trace, wl = run_config(
+            sinks, cost=nearest_neighbor_cost, candidate_limit=limit
+        )
+        assert trace == base_trace
+        assert wl == base_wl
+
+    def test_index_path_matches_full_sort(self, oracle):
+        # candidate_limit set: index-backed candidate retrieval vs the
+        # fallback full sort must pick identical candidates everywhere.
+        sinks = make_sinks(44, seed=14)
+        common = dict(
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+            candidate_limit=6,
+        )
+        _, trace_sorted, wl_sorted = run_config(
+            sinks, spatial_index=False, **common
+        )
+        _, trace_index, wl_index = run_config(sinks, spatial_index=True, **common)
+        assert trace_index == trace_sorted
+        assert wl_index == wl_sorted
+
+
+class TestStatsAccounting:
+    def test_uncached_run_probes_equal_plans(self, oracle):
+        merger, _, _ = run_config(
+            make_sinks(24, seed=20),
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+            **ALL_OFF,
+        )
+        s = merger.stats
+        assert s.plan_cache_hits == 0
+        assert s.pruned_probes == 0
+        assert s.index_queries == 0
+        assert s.cost_probes == s.plans_computed > 0
+
+    def test_cache_and_pruning_cut_plan_evaluations(self, oracle):
+        sinks = make_sinks(48, seed=21)
+        common = dict(oracle=oracle, cost=incremental_switched_capacitance_cost)
+        plain, _, _ = run_config(sinks, **ALL_OFF, **common)
+        fast, _, _ = run_config(sinks, **common)
+        assert fast.stats.plan_cache_hits > 0
+        assert fast.stats.pruned_probes > 0
+        assert fast.stats.plans_computed < plain.stats.plans_computed
+        # Identical greedy decisions mean identical pop behaviour.
+        assert fast.stats.heap_pops == plain.stats.heap_pops
+        assert fast.stats.stale_entries == plain.stats.stale_entries
+
+    def test_index_queries_counted(self, oracle):
+        merger, _, _ = run_config(
+            make_sinks(40, seed=22),
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+            candidate_limit=6,
+        )
+        assert merger.stats.index_queries > 0
+
+    def test_heap_pops_cover_merges(self):
+        n = 30
+        merger, trace, _ = run_config(make_sinks(n, seed=23))
+        assert len(trace) == n - 1
+        assert merger.stats.heap_pops >= n - 1
+
+    def test_as_dict_round_trip(self, oracle):
+        merger, _, _ = run_config(
+            make_sinks(16, seed=24),
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+        )
+        d = merger.stats.as_dict()
+        assert d["plans_computed"] == merger.stats.plans_computed
+        assert d["cost_probes"] == merger.stats.cost_probes
+        assert set(d) >= {
+            "plans_computed",
+            "plan_cache_hits",
+            "heap_pops",
+            "stale_entries",
+            "index_queries",
+            "pruned_probes",
+        }
+
+
+class TestOracleMemo:
+    def test_cache_info_counts_hits(self, oracle):
+        # Fresh oracle so the module-scoped fixture's history can't leak.
+        isa = paper_example_isa()
+        stream = InstructionStream(ids=np.array(paper_example_stream()))
+        fresh = ActivityOracle(ActivityTables.from_stream(isa, stream))
+        first = fresh.signal_probability(0b101)
+        second = fresh.signal_probability(0b101)
+        assert first == second
+        info = fresh.cache_info()["signal_probability"]
+        assert info.hits >= 1 and info.misses >= 1
+
+    def test_memoized_matches_uncached(self, oracle):
+        fresh = ActivityOracle(oracle.tables, cache_size=4)
+        for mask in range(1, 1 << NUM_MODULES, 5):
+            assert fresh.signal_probability(mask) == oracle._signal_probability(mask)
+            assert fresh.transition_probability(mask) == oracle._transition_probability(
+                mask
+            )
+
+
+coords_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords=coords_strategy, data=st.data())
+def test_property_cached_probe_matches_uncached(oracle, coords, data):
+    """Cached and uncached switched-capacitance probes agree bit-for-bit."""
+    sinks = [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=1.0, module=i % NUM_MODULES)
+        for i, (x, y) in enumerate(coords)
+    ]
+    a = data.draw(st.integers(min_value=0, max_value=len(sinks) - 2))
+    b = data.draw(st.integers(min_value=a + 1, max_value=len(sinks) - 1))
+    cached = build(sinks, oracle=oracle, cost=switched_capacitance_cost)
+    plain = build(
+        sinks, oracle=oracle, cost=switched_capacitance_cost, plan_cache=False
+    )
+    plan_first = cached._plan_pair(a, b)
+    plan_again = cached._plan_pair(a, b)
+    assert plan_again is plan_first  # second probe is a cache hit
+    reference = plain.plan(a, b)
+    assert switched_capacitance_cost(plan_again, cached) == switched_capacitance_cost(
+        reference, plain
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(coords=coords_strategy)
+def test_property_lower_bounds_sound(oracle, coords):
+    """The pruning bounds never exceed the exact pair cost."""
+    sinks = [
+        Sink(name="s%d" % i, location=Point(x, y), load_cap=1.0, module=i % NUM_MODULES)
+        for i, (x, y) in enumerate(coords)
+    ]
+    for cost in (switched_capacitance_cost, incremental_switched_capacitance_cost):
+        merger = build(sinks, oracle=oracle, cost=cost)
+        na = merger.tree.node(0)
+        nb = merger.tree.node(1)
+        distance = na.merging_segment.distance_to(nb.merging_segment)
+        bound = cost.lower_bound(merger, na, nb, distance)
+        exact = cost(merger.plan(0, 1), merger)
+        assert bound <= exact or bound == pytest.approx(exact, rel=1e-12)

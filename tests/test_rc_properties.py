@@ -1,6 +1,5 @@
 """Property-based tests for the Elmore evaluator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -83,7 +82,6 @@ class TestElmoreProperties:
         edges, children = data
         tech = unit_technology()
         gate = tech.masking_gate
-        plain = ElmoreEvaluator(edges, children, tech)
         gated_edges = [
             e
             if e.parent < 0

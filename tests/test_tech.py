@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tech import GateModel, Technology, date98_technology, unit_technology
+from repro.tech import GateModel, date98_technology, unit_technology
 from repro.tech.presets import BUFFER_TO_GATE_SIZE_RATIO
 
 
