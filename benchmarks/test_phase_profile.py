@@ -1,0 +1,94 @@
+"""Per-phase wall-clock attribution of the gated routing flow.
+
+Every perf-oriented PR should land with a trace, not an anecdote: this
+bench routes each benchmark with the span tracer on, aggregates the
+trace into per-phase totals (topology / gating / controller star /
+measurement, with the DME sub-phases alongside) and persists them to
+``BENCH_phase_profile.json`` at the repo root, so the perf trajectory
+across PRs is attributable to phases instead of a single end-to-end
+number.
+
+The span tree must cover >= 95% of the wall clock of every routed
+flow -- untraced time means a phase is missing instrumentation.
+
+Outputs:
+
+* ``benchmarks/results/phase_profile.txt`` -- one phase table per
+  benchmark (via :func:`repro.analysis.report.format_phase_times`);
+* ``BENCH_phase_profile.json`` -- machine-readable per-phase rows.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import format_phase_times
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.obs import Tracer, phase_profile, set_tracer
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmarks profiled (smallest two keep the bench CI-sized; the JSON
+#: schema is identical at every scale).
+BENCHES = ("r1", "r2")
+
+
+@pytest.mark.benchmark(group="observability")
+def test_phase_profile(run_once, tech, scale, record):
+    """Trace gated routes; persist phase totals; require 95% coverage."""
+
+    def measure():
+        out = {}
+        for name in BENCHES:
+            case = load_benchmark(name, scale=scale)
+            tracer = Tracer(enabled=True)
+            previous = set_tracer(tracer)
+            try:
+                route_gated(
+                    case.sinks,
+                    tech,
+                    case.oracle,
+                    die=case.die,
+                    candidate_limit=16,
+                )
+            finally:
+                set_tracer(previous)
+            out[name] = (len(case.sinks), tracer.spans)
+        return out
+
+    traced = run_once(measure)
+
+    rows = []
+    tables = []
+    for name, (num_sinks, spans) in traced.items():
+        profile = phase_profile(spans, root_name="flow.route_gated")
+        assert profile.coverage >= 0.95, (
+            "span tree covers %.1f%% of %s's wall clock; a phase is "
+            "missing instrumentation" % (100 * profile.coverage, name)
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "sinks": num_sinks,
+                **profile.as_dict(),
+                # DME sub-phases ride along for merge-loop attribution.
+                "dme_spans": [
+                    s.as_dict()
+                    for s in spans
+                    if s.name.startswith("dme.") and s.name != "dme.merge"
+                ],
+            }
+        )
+        tables.append(
+            format_phase_times(
+                profile, title="Phase profile: %s (N=%d)" % (name, num_sinks)
+            )
+        )
+
+    payload = {"bench": "phase_profile", "candidate_limit": 16, "rows": rows}
+    (ROOT / "BENCH_phase_profile.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    record("phase_profile", "\n\n".join(tables))

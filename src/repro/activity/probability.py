@@ -84,6 +84,17 @@ class ActivityOracle:
             "statistics": self.statistics.cache_info(),
         }
 
+    def publish_metrics(self, registry=None) -> None:
+        """Publish the LRU hit/miss numbers as ``oracle.*`` gauges.
+
+        ``registry`` defaults to the process-global
+        :class:`repro.obs.MetricsRegistry`; the gated flow calls this
+        once per routed result.
+        """
+        from repro.obs import publish_oracle_cache
+
+        publish_oracle_cache(self, registry)
+
     def activation_vector(self, module_mask: int) -> np.ndarray:
         """Indicator over instructions: does the instruction wake the set?"""
         return np.fromiter(

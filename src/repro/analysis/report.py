@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.flow import ClockRoutingResult
 from repro.cts.dme import MergerStats
+from repro.obs import PhaseProfile
 
 
 @dataclass(frozen=True)
@@ -135,19 +136,46 @@ def format_merger_stats(
         "stale",
         "index queries",
     ]
-    data = [
-        [
-            name,
-            s.plans_computed,
-            s.plan_cache_hits,
-            s.pruned_probes,
-            s.cost_probes,
-            s.heap_pops,
-            s.stale_entries,
-            s.index_queries,
-        ]
-        for name, s in stats_by_config.items()
+    #: snapshot() keys backing each column, in header order.
+    columns = [
+        "plans_computed",
+        "plan_cache_hits",
+        "pruned_probes",
+        "cost_probes",
+        "heap_pops",
+        "stale_entries",
+        "index_queries",
     ]
+    data = []
+    for name, stats in stats_by_config.items():
+        snapshot = stats.snapshot()
+        data.append([name] + [snapshot[key] for key in columns])
+    return format_table(headers, data, title=title)
+
+
+def format_phase_times(
+    profile: PhaseProfile, title: str = "Phase wall-clock profile"
+) -> str:
+    """Per-phase wall-clock table from a span-trace profile.
+
+    ``profile`` comes from :func:`repro.obs.phase_profile` over a
+    tracer's spans; the CLI prints this table whenever ``--trace`` is
+    given, and the phase-profile bench persists the same rows to
+    ``BENCH_phase_profile.json``.
+    """
+    headers = ["phase", "spans", "seconds", "share"]
+    data = [
+        [row.name, row.count, row.total_ns / 1e9, "%.1f%%" % (100 * row.fraction)]
+        for row in profile.rows
+    ]
+    data.append(
+        [
+            "(total traced)",
+            sum(r.count for r in profile.rows),
+            profile.root_ns / 1e9,
+            "%.1f%% covered" % (100 * profile.coverage),
+        ]
+    )
     return format_table(headers, data, title=title)
 
 

@@ -20,10 +20,20 @@ Subcommands
 Examples::
 
     gated-cts route --benchmark r1 --scale 0.4 --method reduced --svg out.svg
-    gated-cts route --sinks my.sinks --isa my_isa.json --trace my.trace
+    gated-cts route --sinks my.sinks --isa my_isa.json --instr-trace my.trace
     gated-cts compare --benchmark r2 --scale 0.4
     gated-cts sweep --benchmark r1 --scale 0.4 --points 6
     gated-cts study --spec studies/paper_fig3.json --out results.json
+
+Observability (all subcommands)
+-------------------------------
+``--trace OUT.json`` records a hierarchical span trace of the run and
+writes it as Chrome ``trace_event`` JSON (load in ``chrome://tracing``
+or Perfetto); a per-phase wall-clock table is printed as well.
+``--trace-jsonl OUT.jsonl`` writes the raw span log as JSON lines,
+``--metrics-out OUT.json`` dumps the metrics registry (merger plan
+counters, oracle cache hits, star-edge histograms, ...), and
+``--log-level debug`` surfaces the library's guarded debug logging.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.analysis.report import (
     ComparisonRow,
     format_characteristics,
     format_comparison,
+    format_phase_times,
     format_table,
 )
 from repro.bench.suite import benchmark_names, load_benchmark
@@ -44,7 +55,47 @@ from repro.core.flow import route_buffered, route_gated
 from repro.core.gate_reduction import GateReductionPolicy
 from repro.io.svg import save_svg
 from repro.io.treejson import save_tree
+from repro.obs import (
+    LOG_LEVELS,
+    configure_logging,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    phase_profile,
+    write_chrome_trace,
+    write_metrics_json,
+    write_spans_jsonl,
+)
 from repro.tech.presets import date98_technology
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Observability flags, shared by every subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write a Chrome trace_event span trace of the run",
+    )
+    group.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="OUT.jsonl",
+        help="write the raw span log as JSON lines",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="OUT.json",
+        help="write the metrics registry snapshot as JSON",
+    )
+    group.add_argument(
+        "--log-level",
+        default=None,
+        choices=list(LOG_LEVELS),
+        help="configure the repro logger (handlers installed once)",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -87,10 +138,10 @@ def _load_external(args: argparse.Namespace):
     from repro.io.sinkfile import read_sinks
     from repro.io.tracefile import load_workload
 
-    if not (args.isa and args.trace):
-        raise SystemExit("--sinks requires --isa and --trace")
+    if not (args.isa and args.instr_trace):
+        raise SystemExit("--sinks requires --isa and --instr-trace")
     sinks = tuple(read_sinks(args.sinks))
-    oracle = load_workload(args.isa, args.trace)
+    oracle = load_workload(args.isa, args.instr_trace)
     die = Die.bounding([s.location for s in sinks])
 
     class _ExternalCase:
@@ -254,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_route = sub.add_parser("route", help="route one benchmark")
     _add_common(p_route)
+    _add_obs(p_route)
     p_route.add_argument(
         "--sinks", default=None, help="external sink file (see repro.io.sinkfile)"
     )
@@ -261,7 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--isa", default=None, help="external ISA JSON (see repro.io.tracefile)"
     )
     p_route.add_argument(
-        "--trace", default=None, help="external instruction trace file"
+        "--instr-trace",
+        default=None,
+        help="external instruction trace file (was --trace; that flag now "
+        "writes a span trace)",
     )
     p_route.add_argument(
         "--method",
@@ -279,19 +334,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chars = sub.add_parser("characteristics", help="Table 4 rows")
     _add_common(p_chars)
+    _add_obs(p_chars)
     p_chars.set_defaults(func=_cmd_characteristics, benchmark=None)
 
     p_cmp = sub.add_parser("compare", help="buffered vs gated vs reduced")
     _add_common(p_cmp)
+    _add_obs(p_cmp)
     p_cmp.add_argument("--knob", type=float, default=0.5, help="reduction knob")
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_sweep = sub.add_parser("sweep", help="gate-reduction sweep")
     _add_common(p_sweep)
+    _add_obs(p_sweep)
     p_sweep.add_argument("--points", type=int, default=5, help="sweep points")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_study = sub.add_parser("study", help="run a spec-driven campaign")
+    _add_obs(p_study)
     p_study.add_argument("--spec", default=None, help="study spec JSON")
     p_study.add_argument(
         "--template",
@@ -306,7 +365,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+    tracing = args.trace is not None or args.trace_jsonl is not None
+    tracer = enable_tracing() if tracing else None
+    try:
+        code = args.func(args)
+    finally:
+        if tracer is not None:
+            disable_tracing()
+    if tracer is not None:
+        if args.trace:
+            write_chrome_trace(tracer.spans, args.trace)
+            print("span trace written to %s" % args.trace)
+        if args.trace_jsonl:
+            write_spans_jsonl(tracer.spans, args.trace_jsonl)
+            print("span log written to %s" % args.trace_jsonl)
+        print(format_phase_times(phase_profile(tracer.spans)))
+    if args.metrics_out:
+        write_metrics_json(get_registry(), args.metrics_out)
+        print("metrics written to %s" % args.metrics_out)
+    return code
 
 
 if __name__ == "__main__":

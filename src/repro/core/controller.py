@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 
 from repro.cts.topology import ClockNode, ClockTree
 from repro.geometry.point import Point
+from repro.obs import get_registry, get_tracer
 from repro.tech.parameters import Technology
 
 
@@ -164,32 +165,36 @@ def route_enables(
     ``W(S) = sum (c |EN_i| + C_g) P_tr(EN_i)`` over the gated edges,
     with ``C_g`` the AND gate's (enable) input capacitance.
     """
-    c = tech.unit_wire_capacitance
-    gate_in = tech.masking_gate.input_cap
-    routes: List[EnableRoute] = []
-    switched = 0.0
-    wirelength = 0.0
-    for node in tree.gates():
-        pin = gate_location(tree, node)
-        index, ctrl = layout.controller_for(pin)
-        length = pin.manhattan_to(ctrl)
-        ptr = node.enable_transition_probability
-        routes.append(
-            EnableRoute(
-                node_id=node.id,
-                controller_index=index,
-                length=length,
-                transition_probability=ptr,
+    with get_tracer().span("controller.star", controllers=layout.count) as span:
+        c = tech.unit_wire_capacitance
+        gate_in = tech.masking_gate.input_cap
+        routes: List[EnableRoute] = []
+        switched = 0.0
+        wirelength = 0.0
+        edge_lengths = get_registry().histogram("controller.star_edge_length")
+        for node in tree.gates():
+            pin = gate_location(tree, node)
+            index, ctrl = layout.controller_for(pin)
+            length = pin.manhattan_to(ctrl)
+            ptr = node.enable_transition_probability
+            routes.append(
+                EnableRoute(
+                    node_id=node.id,
+                    controller_index=index,
+                    length=length,
+                    transition_probability=ptr,
+                )
             )
+            switched += (c * length + gate_in) * ptr
+            wirelength += length
+            edge_lengths.observe(length)
+        span.set(gates=len(routes), wirelength=wirelength)
+        return EnableRouting(
+            layout=layout,
+            routes=tuple(routes),
+            switched_cap=switched,
+            wirelength=wirelength,
         )
-        switched += (c * length + gate_in) * ptr
-        wirelength += length
-    return EnableRouting(
-        layout=layout,
-        routes=tuple(routes),
-        switched_cap=switched,
-        wirelength=wirelength,
-    )
 
 
 def expected_star_wirelength(die_side: float, num_gates: int, k: int = 1) -> float:

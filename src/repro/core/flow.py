@@ -28,6 +28,7 @@ from repro.core.switched_cap import (
 from repro.cts.buffered import build_buffered_tree
 from repro.cts.dme import CellPolicy
 from repro.cts.topology import ClockTree, Sink
+from repro.obs import get_tracer, publish_oracle_cache
 from repro.tech.parameters import Technology
 
 
@@ -94,30 +95,35 @@ def _measure(
     tech: Technology,
     routing: Optional[EnableRouting],
 ) -> ClockRoutingResult:
-    controller_cap = routing.switched_cap if routing is not None else 0.0
-    controller_wire = routing.wirelength if routing is not None else 0.0
-    switched = SwitchedCapBreakdown(
-        clock_tree=clock_tree_switched_cap(tree, tech),
-        controller_tree=controller_cap,
-    )
-    area = AreaBreakdown(
-        clock_wire=tech.wire_area(tree.total_wirelength()),
-        controller_wire=tech.wire_area(controller_wire),
-        cells=tree.cell_area(),
-    )
-    return ClockRoutingResult(
-        method=method,
-        tree=tree,
-        routing=routing,
-        switched_cap=switched,
-        area=area,
-        skew=tree.skew(),
-        phase_delay=tree.phase_delay(),
-        wirelength=tree.total_wirelength(),
-        gate_count=tree.gate_count(),
-        cell_count=tree.cell_count(),
-        num_sinks=len(tree.sinks()),
-    )
+    with get_tracer().span("flow.measure", method=method):
+        controller_cap = routing.switched_cap if routing is not None else 0.0
+        controller_wire = routing.wirelength if routing is not None else 0.0
+        switched = SwitchedCapBreakdown(
+            clock_tree=clock_tree_switched_cap(tree, tech),
+            controller_tree=controller_cap,
+        )
+        # One wirelength walk and one Elmore evaluation serve all the
+        # derived fields (wire area, wirelength, skew, phase delay).
+        wirelength = tree.total_wirelength()
+        delays = [s.delay for s in tree.elmore_evaluator().sink_delays()]
+        area = AreaBreakdown(
+            clock_wire=tech.wire_area(wirelength),
+            controller_wire=tech.wire_area(controller_wire),
+            cells=tree.cell_area(),
+        )
+        return ClockRoutingResult(
+            method=method,
+            tree=tree,
+            routing=routing,
+            switched_cap=switched,
+            area=area,
+            skew=max(delays) - min(delays),
+            phase_delay=max(delays),
+            wirelength=wirelength,
+            gate_count=tree.gate_count(),
+            cell_count=tree.cell_count(),
+            num_sinks=len(tree.sinks()),
+        )
 
 
 def _die_for(sinks: Sequence[Sink], die: Optional[Die]) -> Die:
@@ -132,10 +138,13 @@ def route_buffered(
     skew_bound: float = 0.0,
 ) -> ClockRoutingResult:
     """The paper's baseline: buffered nearest-neighbour zero-skew tree."""
-    tree = build_buffered_tree(
-        sinks, tech, candidate_limit=candidate_limit, skew_bound=skew_bound
-    )
-    return _measure("buffered", tree, tech, routing=None)
+    tracer = get_tracer()
+    with tracer.span("flow.route_buffered", n=len(sinks)):
+        with tracer.span("topology.buffered", n=len(sinks)):
+            tree = build_buffered_tree(
+                sinks, tech, candidate_limit=candidate_limit, skew_bound=skew_bound
+            )
+        return _measure("buffered", tree, tech, routing=None)
 
 
 def route_gated(
@@ -174,22 +183,34 @@ def route_gated(
     policy = cell_policy
     if policy is None and reduction is not None and reduction_mode == "merge":
         policy = reduction
-    # "demote"/"remove" build fully gated, then prune below.
-    tree = build_gated_tree(
-        sinks,
-        tech,
-        oracle,
-        controller_point=die.center,
-        cell_policy=policy,
-        candidate_limit=candidate_limit,
-        gate_sizing=gate_sizing,
-        skew_bound=skew_bound,
-    )
-    if reduction is not None and policy is None:
-        apply_gate_reduction(tree, reduction, mode=reduction_mode)
-    routing = route_enables(tree, layout, tech)
-    method = "gated" if reduction is None and cell_policy is None else "gate-red"
-    return _measure(method, tree, tech, routing=routing)
+    tracer = get_tracer()
+    with tracer.span(
+        "flow.route_gated",
+        n=len(sinks),
+        reduction_mode=reduction_mode,
+        controllers=num_controllers,
+    ):
+        # "demote"/"remove" build fully gated, then prune below.
+        with tracer.span("topology.gated", n=len(sinks)):
+            tree = build_gated_tree(
+                sinks,
+                tech,
+                oracle,
+                controller_point=die.center,
+                cell_policy=policy,
+                candidate_limit=candidate_limit,
+                gate_sizing=gate_sizing,
+                skew_bound=skew_bound,
+            )
+        if reduction is not None and policy is None:
+            # apply_gate_reduction opens its own "gating.reduce" span.
+            apply_gate_reduction(tree, reduction, mode=reduction_mode)
+        # route_enables opens its own "controller.star" span.
+        routing = route_enables(tree, layout, tech)
+        method = "gated" if reduction is None and cell_policy is None else "gate-red"
+        result = _measure(method, tree, tech, routing=routing)
+        publish_oracle_cache(oracle)
+        return result
 
 
 def gated_vs_ungated_floor(result: ClockRoutingResult, tech: Technology) -> float:

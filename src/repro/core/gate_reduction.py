@@ -46,6 +46,7 @@ from repro.tech.parameters import GateModel
 from repro.cts.dme import CellDecision, CellPolicy
 from repro.cts.reembed import reembed
 from repro.cts.topology import ClockNode, ClockTree
+from repro.obs import get_registry, get_tracer
 from repro.tech.parameters import Technology
 
 #: Rule-at-full-knob scales (knob = 1 maps to these extremes).
@@ -205,6 +206,16 @@ def apply_gate_reduction(
     """
     if mode not in ("demote", "remove"):
         raise ValueError("mode must be 'demote' or 'remove'")
+    with get_tracer().span("gating.reduce", mode=mode) as span:
+        removed = _apply_gate_reduction(tree, policy, mode)
+        span.set(pruned=removed)
+    get_registry().counter("gating.gates_pruned").inc(max(removed, 0))
+    return removed
+
+
+def _apply_gate_reduction(
+    tree: ClockTree, policy: GateReductionPolicy, mode: str
+) -> int:
     tech = tree.tech
     removed = 0
 

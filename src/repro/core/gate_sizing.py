@@ -21,6 +21,7 @@ from typing import Tuple
 
 from repro.cts.dme import CellDecision
 from repro.cts.merge import SkewBalanceError, SplitResult, Tap, zero_skew_split
+from repro.obs import get_registry
 from repro.tech.parameters import Technology
 
 #: Discrete drive strengths, relative to the technology's unit cell.
@@ -69,6 +70,8 @@ class GateSizingPolicy:
         if base_split.snaked is None:
             return decision_a, decision_b, base_split
 
+        # Sizing only engages on snaked merges; count how often.
+        get_registry().counter("sizing.engaged").inc()
         best = (decision_a, decision_b, base_split)
         best_key = self._key(base_split, decision_a, decision_b)
         for size_a, option_a in self._options(decision_a):
@@ -88,6 +91,8 @@ class GateSizingPolicy:
                 if key < best_key:
                     best_key = key
                     best = (option_a, option_b, split)
+        if best[2] is not base_split:
+            get_registry().counter("sizing.resized").inc()
         return best
 
     @staticmethod

@@ -57,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.activity.probability import ActivityOracle
 from repro.cts.candidate_index import SegmentGridIndex
+from repro.obs import get_tracer, publish_index_stats, publish_merger_stats
 from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.geometry.point import Point
@@ -153,7 +154,13 @@ class MergerStats:
         """Pair-cost requests answered (computed, cached, or pruned)."""
         return self.plans_computed + self.plan_cache_hits + self.pruned_probes
 
-    def as_dict(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, int]:
+        """Stable-key dict of every counter (plus derived totals).
+
+        The keys are a public contract: the metrics exporters
+        (``repro.obs``), :func:`repro.analysis.report.format_merger_stats`
+        and the benches all read this instead of the attributes.
+        """
         return {
             "plans_computed": self.plans_computed,
             "plan_cache_hits": self.plan_cache_hits,
@@ -163,6 +170,10 @@ class MergerStats:
             "pruned_probes": self.pruned_probes,
             "cost_probes": self.cost_probes,
         }
+
+    def as_dict(self) -> Dict[str, int]:
+        """Alias of :meth:`snapshot` (kept for existing callers)."""
+        return self.snapshot()
 
 
 PairCost = Callable[["MergePlan", "BottomUpMerger"], float]
@@ -602,25 +613,44 @@ class BottomUpMerger:
             self.candidate_limit,
             self.skew_bound,
         )
-        if num_sinks == 1:
-            (only,) = self._active
-            self.tree.set_root(only)
-            self._place()
-            return self.tree
-        self._initialize_best()
-        while len(self._active) > 1:
-            a_id, b_id = self._pop_valid_pair()
-            plan = self._plan_pair(a_id, b_id)
-            merged = self.execute(plan)
-            orphans = (self._retire(a_id) | self._retire(b_id)) & self._active
-            self._introduce(merged.id)
-            for orphan in orphans:
-                current = self._best.get(orphan)
-                if current is None or current[1] not in self._active:
-                    self._recompute_best(orphan)
-        (root,) = self._active
-        self.tree.set_root(root)
-        self._place()
+        tracer = get_tracer()
+        with tracer.span(
+            "dme.merge",
+            n=num_sinks,
+            cost=getattr(self.cost, "__name__", type(self.cost).__name__),
+            policy=type(self.cell_policy).__name__,
+            candidate_limit=self.candidate_limit,
+        ) as span:
+            if num_sinks == 1:
+                (only,) = self._active
+                self.tree.set_root(only)
+                with tracer.span("dme.embed"):
+                    self._place()
+                return self.tree
+            with tracer.span("dme.init_best", n=num_sinks):
+                self._initialize_best()
+            with tracer.span("dme.merge_loop"):
+                while len(self._active) > 1:
+                    a_id, b_id = self._pop_valid_pair()
+                    plan = self._plan_pair(a_id, b_id)
+                    merged = self.execute(plan)
+                    orphans = (self._retire(a_id) | self._retire(b_id)) & self._active
+                    self._introduce(merged.id)
+                    for orphan in orphans:
+                        current = self._best.get(orphan)
+                        if current is None or current[1] not in self._active:
+                            self._recompute_best(orphan)
+            (root,) = self._active
+            self.tree.set_root(root)
+            with tracer.span("dme.embed"):
+                self._place()
+            span.set(
+                plans_computed=self.stats.plans_computed,
+                plan_cache_hits=self.stats.plan_cache_hits,
+                pruned_probes=self.stats.pruned_probes,
+            )
+            publish_merger_stats(self.stats)
+            publish_index_stats(self._index)
         if logger.isEnabledFor(logging.DEBUG):
             # Guarded: these arguments walk the whole tree.
             logger.debug(

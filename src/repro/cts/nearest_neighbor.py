@@ -19,6 +19,7 @@ from repro.cts.dme import (
     nearest_neighbor_cost,
 )
 from repro.cts.topology import ClockTree, Sink
+from repro.obs import get_tracer
 from repro.tech.parameters import Technology
 
 
@@ -38,13 +39,14 @@ def build_nearest_neighbor_tree(
     for a gated tree whose *topology* ignores activity (useful in
     ablations).
     """
-    merger = BottomUpMerger(
-        sinks=sinks,
-        tech=tech,
-        cost=nearest_neighbor_cost,
-        cell_policy=cell_policy or NoCellPolicy(),
-        oracle=oracle,
-        candidate_limit=candidate_limit,
-        skew_bound=skew_bound,
-    )
-    return merger.run()
+    with get_tracer().span("topology.nearest_neighbor", n=len(sinks)):
+        merger = BottomUpMerger(
+            sinks=sinks,
+            tech=tech,
+            cost=nearest_neighbor_cost,
+            cell_policy=cell_policy or NoCellPolicy(),
+            oracle=oracle,
+            candidate_limit=candidate_limit,
+            skew_bound=skew_bound,
+        )
+        return merger.run()

@@ -1,0 +1,79 @@
+"""Observability for the routing flow: spans, metrics, exporters.
+
+Three layers (see ``DESIGN.md``, section "Observability"):
+
+* :mod:`repro.obs.tracer` -- hierarchical span tracing
+  (``phase.subphase`` naming, ``perf_counter_ns`` timing, process
+  -global default that is a true no-op until enabled);
+* :mod:`repro.obs.metrics` -- named counters / gauges / histograms the
+  subsystem stat structs publish into;
+* :mod:`repro.obs.export` -- JSONL span log, Chrome ``trace_event``
+  JSON, per-phase wall-clock profiles;
+* :mod:`repro.obs.logconfig` -- one-shot ``repro`` logger setup for
+  the CLI's ``--log-level``.
+"""
+
+from repro.obs.export import (
+    PhaseProfile,
+    PhaseRow,
+    chrome_trace,
+    phase_profile,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.instrument import (
+    publish_index_stats,
+    publish_merger_stats,
+    publish_oracle_cache,
+)
+from repro.obs.logconfig import LOG_LEVELS, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "PhaseProfile",
+    "PhaseRow",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "phase_profile",
+    "publish_index_stats",
+    "publish_merger_stats",
+    "publish_oracle_cache",
+    "set_registry",
+    "set_tracer",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,178 @@
+"""Span and metrics exporters.
+
+Three targets, all fed from the flat :class:`~repro.obs.tracer.SpanRecord`
+list a :class:`~repro.obs.tracer.Tracer` collects:
+
+* **JSONL** -- one span per line, stable keys, trivially greppable;
+* **Chrome ``trace_event`` JSON** -- complete ("X") events loadable in
+  ``chrome://tracing`` or Perfetto, span attributes in ``args``;
+* **phase profile** -- per-phase wall-clock totals aggregated from the
+  direct children of each root span, the data behind
+  ``analysis.report.format_phase_times`` and the
+  ``BENCH_phase_profile.json`` bench artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Sequence[SpanRecord]) -> str:
+    """One JSON object per line, in completion order."""
+    return "\n".join(json.dumps(s.as_dict(), sort_keys=True) for s in spans)
+
+
+def write_spans_jsonl(spans: Sequence[SpanRecord], path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        text = spans_to_jsonl(spans)
+        fh.write(text + "\n" if text else "")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace_events(spans: Sequence[SpanRecord]) -> List[Dict[str, Any]]:
+    """Spans as Chrome complete ("X") events, start-time ordered.
+
+    Timestamps are microseconds (the format's unit); nesting is
+    reconstructed by the viewer from containment on one pid/tid, which
+    holds exactly because spans come from one context-manager stack.
+    """
+    events = []
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start_ns / 1000.0,
+                "dur": span.duration_ns / 1000.0,
+                "pid": 1,
+                "tid": 1,
+                "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+            }
+        )
+    return events
+
+
+def chrome_trace(spans: Sequence[SpanRecord]) -> Dict[str, Any]:
+    """The full Chrome trace object (``traceEvents`` container)."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(spans: Sequence[SpanRecord], path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans), fh, indent=1)
+        fh.write("\n")
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# phase profile
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseRow:
+    """Aggregated wall-clock of one phase (spans of one name, depth 1)."""
+
+    name: str
+    count: int
+    total_ns: int
+    fraction: float
+    """Share of the root span(s) total; 0 when there is no root."""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "total_s": self.total_ns / 1e9,
+            "fraction": self.fraction,
+        }
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Per-phase totals under the trace's root span(s)."""
+
+    rows: List[PhaseRow]
+    root_ns: int
+    covered_ns: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of root wall-clock covered by depth-1 spans."""
+        return self.covered_ns / self.root_ns if self.root_ns else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "root_ns": self.root_ns,
+            "root_s": self.root_ns / 1e9,
+            "covered_ns": self.covered_ns,
+            "coverage": self.coverage,
+            "phases": [r.as_dict() for r in self.rows],
+        }
+
+
+def phase_profile(
+    spans: Sequence[SpanRecord], root_name: Optional[str] = None
+) -> PhaseProfile:
+    """Aggregate the direct children of root spans into phase totals.
+
+    ``root_name`` restricts the roots considered (e.g. only
+    ``flow.route_gated`` runs when a trace holds several flows); by
+    default every parentless span is a root.  Phases are the distinct
+    names among the roots' direct children, ordered by first start.
+    """
+    roots = [
+        s
+        for s in spans
+        if s.parent_id is None and (root_name is None or s.name == root_name)
+    ]
+    root_ids = {s.span_id for s in roots}
+    root_ns = sum(s.duration_ns for s in roots)
+    totals: Dict[str, List[int]] = {}
+    order: Dict[str, int] = {}
+    for span in spans:
+        if span.parent_id not in root_ids:
+            continue
+        bucket = totals.setdefault(span.name, [0, 0])
+        bucket[0] += 1
+        bucket[1] += span.duration_ns
+        order.setdefault(span.name, span.start_ns)
+    covered = sum(t[1] for t in totals.values())
+    rows = [
+        PhaseRow(
+            name=name,
+            count=totals[name][0],
+            total_ns=totals[name][1],
+            fraction=(totals[name][1] / root_ns) if root_ns else 0.0,
+        )
+        for name in sorted(totals, key=lambda n: order[n])
+    ]
+    return PhaseProfile(rows=rows, root_ns=root_ns, covered_ns=covered)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def write_metrics_json(registry: MetricsRegistry, path) -> None:
+    """Serialize a registry's ``as_dict`` snapshot as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(registry.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

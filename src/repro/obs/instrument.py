@@ -1,0 +1,47 @@
+"""Bridges from the flow's ad-hoc stat structs into the registry.
+
+Each helper translates one subsystem's counters into stable dotted
+metric names.  They are called at phase boundaries (end of a merger
+run, end of a routed flow), never in inner loops, and tolerate a
+``None`` registry argument by falling back to the process-global one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def publish_merger_stats(stats, registry: Optional[MetricsRegistry] = None) -> None:
+    """Publish :class:`~repro.cts.dme.MergerStats` under ``dme.*``.
+
+    Uses the struct's :meth:`snapshot` stable keys, so a new counter
+    added to ``MergerStats`` is exported without touching this module.
+    """
+    registry = registry or get_registry()
+    for key, value in stats.snapshot().items():
+        registry.counter("dme." + key).inc(value)
+
+
+def publish_index_stats(index, registry: Optional[MetricsRegistry] = None) -> None:
+    """Publish :class:`~repro.cts.candidate_index.SegmentGridIndex` work."""
+    if index is None:
+        return
+    registry = registry or get_registry()
+    registry.counter("dme.index.queries").inc(index.queries)
+    registry.counter("dme.index.cells_scanned").inc(index.cells_scanned)
+
+
+def publish_oracle_cache(oracle, registry: Optional[MetricsRegistry] = None) -> None:
+    """Publish the :class:`ActivityOracle` per-mask LRU hit/miss gauges.
+
+    Gauges, not counters: ``lru_cache`` counts are cumulative per
+    oracle instance, so last-write-wins is the correct aggregation.
+    """
+    registry = registry or get_registry()
+    for method, info in oracle.cache_info().items():
+        base = "oracle.%s." % method
+        registry.gauge(base + "hits").set(info.hits)
+        registry.gauge(base + "misses").set(info.misses)
+        registry.gauge(base + "currsize").set(info.currsize)

@@ -1,0 +1,44 @@
+"""One-shot logging configuration for the ``repro`` logger tree.
+
+The library logs under the ``repro.*`` hierarchy (e.g. the merger's
+guarded debug lines in :mod:`repro.cts.dme`) but never configures
+handlers itself -- libraries must not.  The CLI calls
+:func:`configure_logging` once in ``main()`` so ``--log-level debug``
+actually surfaces those records; embedding applications can call it
+too, or attach their own handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Union
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_handler: Optional[logging.Handler] = None
+
+
+def configure_logging(level: Union[str, int] = "warning") -> logging.Logger:
+    """Configure the root ``repro`` logger with a stderr handler.
+
+    Idempotent: repeated calls adjust the level of the one handler this
+    module owns instead of stacking duplicates.  Returns the logger.
+    """
+    if isinstance(level, str):
+        name = level.lower()
+        if name not in LOG_LEVELS:
+            raise ValueError(
+                "unknown log level %r (choose from %s)" % (level, ", ".join(LOG_LEVELS))
+            )
+        level = getattr(logging, name.upper())
+    logger = logging.getLogger("repro")
+    global _handler
+    if _handler is None:
+        _handler = logging.StreamHandler()
+        _handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(_handler)
+    logger.setLevel(level)
+    _handler.setLevel(level)
+    return logger

@@ -31,6 +31,7 @@ from repro.activity.isa import InstructionSet
 from repro.activity.stream import InstructionStream
 from repro.core.controller import EnableRouting
 from repro.cts.topology import ClockTree
+from repro.obs import get_registry, get_tracer
 from repro.tech.parameters import Technology
 
 
@@ -77,26 +78,28 @@ class ClockNetworkSimulator:
         isa: InstructionSet,
         routing: Optional[EnableRouting] = None,
     ):
-        self._tech = tech
-        self._isa = isa
-        clock_groups, always_on = self._group_clock_caps(tree, tech)
-        star_groups = self._group_star_caps(tree, tech, routing)
-        self._always_on_cap = always_on
+        with get_tracer().span("sim.build", enables=0) as span:
+            self._tech = tech
+            self._isa = isa
+            clock_groups, always_on = self._group_clock_caps(tree, tech)
+            star_groups = self._group_star_caps(tree, tech, routing)
+            self._always_on_cap = always_on
 
-        masks: List[int] = sorted(set(clock_groups) | set(star_groups))
-        self._clock_caps = np.array(
-            [clock_groups.get(m, 0.0) for m in masks], dtype=float
-        )
-        self._star_caps = np.array(
-            [star_groups.get(m, 0.0) for m in masks], dtype=float
-        )
-        if masks:
-            self._activation = np.array(
-                [[bool(mask & instr) for instr in isa.masks] for mask in masks],
-                dtype=float,
+            masks: List[int] = sorted(set(clock_groups) | set(star_groups))
+            self._clock_caps = np.array(
+                [clock_groups.get(m, 0.0) for m in masks], dtype=float
             )
-        else:  # fully unmasked network (e.g. the buffered baseline)
-            self._activation = np.zeros((0, len(isa)), dtype=float)
+            self._star_caps = np.array(
+                [star_groups.get(m, 0.0) for m in masks], dtype=float
+            )
+            if masks:
+                self._activation = np.array(
+                    [[bool(mask & instr) for instr in isa.masks] for mask in masks],
+                    dtype=float,
+                )
+            else:  # fully unmasked network (e.g. the buffered baseline)
+                self._activation = np.zeros((0, len(isa)), dtype=float)
+            span.set(enables=len(masks))
 
     # ------------------------------------------------------------------
     # static structure
@@ -156,15 +159,19 @@ class ClockNetworkSimulator:
     # ------------------------------------------------------------------
     def run(self, stream: InstructionStream) -> SimulationResult:
         """Replay a trace; every id must be < the ISA's size."""
-        ids = stream.ids
-        if ids.max() >= len(self._isa):
-            raise ValueError("stream references an instruction outside the ISA")
-        active = self._activation[:, ids]  # enables x cycles
-        clock = self._clock_caps @ active + self._always_on_cap
-        controller = np.zeros(ids.size, dtype=float)
-        if ids.size > 1:
-            toggles = np.abs(active[:, 1:] - active[:, :-1])
-            controller[1:] = self._star_caps @ toggles
-        return SimulationResult(
-            clock_per_cycle=clock, controller_per_cycle=controller
-        )
+        with get_tracer().span("sim.replay", cycles=len(stream)):
+            ids = stream.ids
+            if ids.max() >= len(self._isa):
+                raise ValueError(
+                    "stream references an instruction outside the ISA"
+                )
+            active = self._activation[:, ids]  # enables x cycles
+            clock = self._clock_caps @ active + self._always_on_cap
+            controller = np.zeros(ids.size, dtype=float)
+            if ids.size > 1:
+                toggles = np.abs(active[:, 1:] - active[:, :-1])
+                controller[1:] = self._star_caps @ toggles
+            get_registry().counter("sim.cycles_replayed").inc(int(ids.size))
+            return SimulationResult(
+                clock_per_cycle=clock, controller_per_cycle=controller
+            )

@@ -113,7 +113,7 @@ class TestCommands:
                 str(tmp_path / "sinks.txt"),
                 "--isa",
                 str(tmp_path / "isa.json"),
-                "--trace",
+                "--instr-trace",
                 str(tmp_path / "trace.txt"),
                 "--method",
                 "gated",
