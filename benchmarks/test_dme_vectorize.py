@@ -1,0 +1,147 @@
+"""Speedup of the vectorized kernel screens over the scalar merger.
+
+The ISSUE 3 acceptance bar: with the default cost (nearest neighbour)
+and no cells, the ``dme.merge`` span must run >= 2x faster with
+``vectorize=True`` than with ``vectorize=False`` at N >= 256 -- and the
+``merge_trace`` must be byte-identical between the two modes on every
+sink set, because the kernels mirror the scalar float arithmetic
+exactly.
+
+Outputs:
+
+* ``benchmarks/results/dme_vectorize.txt`` -- the wall-clock table
+  (also reproduced in EXPERIMENTS.md);
+* ``BENCH_dme_vectorize.json`` at the repo root -- span timings, the
+  speedups, and the kernel counters per size.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.bench.sinks import SinkGenerator
+from repro.cts import BottomUpMerger
+from repro.obs import Tracer, set_tracer
+
+ROOT = Path(__file__).resolve().parent.parent
+SIZES = (128, 256, 512)
+
+#: The acceptance threshold only binds where batching has enough lanes
+#: to amortize the per-batch overhead.
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_FLOOR_AT = 256
+
+
+def _sinks(n):
+    return SinkGenerator(num_sinks=n, seed=2).generate()
+
+
+def _merge_span_seconds(sinks, tech, vectorize):
+    """One merger run under a private tracer; returns (merger, seconds).
+
+    Timing the ``dme.merge`` span (rather than ``run()`` wall-clock)
+    scopes the measurement to exactly the phase the kernels accelerate.
+    """
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        merger = BottomUpMerger(sinks, tech, vectorize=vectorize)
+        merger.run()
+    finally:
+        set_tracer(previous)
+    (span,) = [s for s in tracer.spans if s.name == "dme.merge"]
+    assert span.attrs["vectorize"] is vectorize
+    return merger, span.duration_ns / 1e9
+
+
+@pytest.mark.benchmark(group="vectorize")
+def test_vectorize_speedup(run_once, tech, record):
+    """>= 2x faster merges at N >= 256, identical traces everywhere."""
+
+    def measure():
+        rows = []
+        for n in SIZES:
+            sinks = _sinks(n)
+            scalar_m, scalar_t = _merge_span_seconds(sinks, tech, vectorize=False)
+            vector_m, vector_t = _merge_span_seconds(sinks, tech, vectorize=True)
+            # Bit-exact parity before any timing is trusted.
+            assert vector_m.merge_trace == scalar_m.merge_trace
+            assert (
+                vector_m.tree.total_wirelength()
+                == scalar_m.tree.total_wirelength()
+            )
+            assert vector_m._exact_screen
+            assert vector_m.stats.kernel_batches > 0
+            rows.append(
+                {
+                    "sinks": n,
+                    "seconds_scalar": scalar_t,
+                    "seconds_vectorized": vector_t,
+                    "speedup": scalar_t / max(vector_t, 1e-9),
+                    "plans_scalar": scalar_m.stats.plans_computed,
+                    "plans_vectorized": vector_m.stats.plans_computed,
+                    "kernel_batches": vector_m.stats.kernel_batches,
+                    "kernel_candidates": vector_m.stats.kernel_candidates,
+                    "kernel_scalar_fallbacks": (
+                        vector_m.stats.kernel_scalar_fallbacks
+                    ),
+                    "distance_reuses": vector_m.stats.distance_reuses,
+                }
+            )
+        return rows
+
+    rows = run_once(measure)
+
+    payload = {
+        "bench": "dme_vectorize",
+        "cost": "nearest_neighbor_cost",
+        "cell_policy": "NoCellPolicy",
+        "span": "dme.merge",
+        "sizes": list(SIZES),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_floor_at": SPEEDUP_FLOOR_AT,
+        "rows": rows,
+    }
+    (ROOT / "BENCH_dme_vectorize.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    record(
+        "dme_vectorize",
+        format_table(
+            [
+                "N",
+                "s (scalar)",
+                "s (vectorized)",
+                "speedup",
+                "plans (scalar)",
+                "plans (vec)",
+                "batches",
+                "lanes",
+            ],
+            [
+                [
+                    r["sinks"],
+                    r["seconds_scalar"],
+                    r["seconds_vectorized"],
+                    r["speedup"],
+                    r["plans_scalar"],
+                    r["plans_vectorized"],
+                    r["kernel_batches"],
+                    r["kernel_candidates"],
+                ]
+                for r in rows
+            ],
+            title="DME vectorized kernel screens (NN cost, no cells, "
+            "dme.merge span)",
+        ),
+    )
+
+    for r in rows:
+        if r["sinks"] >= SPEEDUP_FLOOR_AT:
+            assert r["speedup"] >= SPEEDUP_FLOOR, (
+                "vectorize must be >= %gx faster at N=%d (got %.2fx)"
+                % (SPEEDUP_FLOOR, r["sinks"], r["speedup"])
+            )

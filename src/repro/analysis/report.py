@@ -135,6 +135,10 @@ def format_merger_stats(
         "heap pops",
         "stale",
         "index queries",
+        "batches",
+        "batched cands",
+        "lane fallbacks",
+        "dist reuses",
     ]
     #: snapshot() keys backing each column, in header order.
     columns = [
@@ -145,6 +149,10 @@ def format_merger_stats(
         "heap_pops",
         "stale_entries",
         "index_queries",
+        "kernel_batches",
+        "kernel_candidates",
+        "kernel_scalar_fallbacks",
+        "distance_reuses",
     ]
     data = []
     for name, stats in stats_by_config.items():

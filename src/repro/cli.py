@@ -125,6 +125,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="resize gates instead of snaking wire on unbalanced merges",
     )
+    parser.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable the NumPy kernel screens of the greedy merger "
+        "(decision-neutral; results are byte-identical either way)",
+    )
     parser.add_argument("--seed", type=int, default=None, help="benchmark seed")
 
 
@@ -173,6 +179,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             tech,
             candidate_limit=_limit(args),
             skew_bound=args.skew_bound,
+            vectorize=not args.no_vectorize,
         )
     else:
         reduction = (
@@ -190,6 +197,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             candidate_limit=_limit(args),
             gate_sizing=GateSizingPolicy() if args.gate_sizing else None,
             skew_bound=args.skew_bound,
+            vectorize=not args.no_vectorize,
         )
     print(result.summary())
     if args.out:
@@ -224,9 +232,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args.benchmark, scale=args.scale, target_activity=args.activity, seed=args.seed
     )
     limit = _limit(args)
+    vectorize = not args.no_vectorize
     results = [
-        route_buffered(case.sinks, tech, candidate_limit=limit),
-        route_gated(case.sinks, tech, case.oracle, die=case.die, candidate_limit=limit),
+        route_buffered(case.sinks, tech, candidate_limit=limit, vectorize=vectorize),
+        route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            candidate_limit=limit,
+            vectorize=vectorize,
+        ),
         route_gated(
             case.sinks,
             tech,
@@ -234,6 +250,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             die=case.die,
             candidate_limit=limit,
             reduction=GateReductionPolicy.from_knob(args.knob, tech),
+            vectorize=vectorize,
         ),
     ]
     rows = [ComparisonRow.from_result(args.benchmark, r) for r in results]
@@ -259,6 +276,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reduction=(
                 GateReductionPolicy.from_knob(knob, tech) if knob > 0 else None
             ),
+            vectorize=not args.no_vectorize,
         )
         rows.append(
             [

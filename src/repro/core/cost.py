@@ -39,6 +39,14 @@ from typing import Optional, Tuple
 from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan
 from repro.cts.topology import ClockNode
 
+try:  # NumPy backs the optional batched bound; scalar costs work without it.
+    import numpy as np
+
+    from repro.cts import kernels as _kernels
+except ImportError:  # pragma: no cover - NumPy present in CI images
+    np = None
+    _kernels = None
+
 
 def _edge_weight(decision: CellDecision, child: ClockNode, plan: MergePlan) -> float:
     """Switching probability of the new clock edge above ``child``."""
@@ -134,7 +142,58 @@ def _eq3_lower_bound(
     return total
 
 
+def _eq3_batch_lower_bound(merger, nid, others, distance):
+    """Batched :func:`_eq3_lower_bound` over a candidate id array.
+
+    Mirrors the scalar bound's float chain term for term (same
+    association order, ``np.minimum`` for the rounding-free ``min``),
+    so every lane is bit-identical to the scalar call -- the pruning
+    decisions, and therefore every downstream greedy choice, cannot
+    differ between the vectorized and scalar paths.
+
+    Returns ``None`` (declining the batch, which falls back to the
+    scalar scan) whenever a per-pair quantity enters the bound: a
+    cell policy without a uniform decision, or a cost/policy needing
+    the merged enable probability (pair-dependent oracle lookups).
+    """
+    if _kernels is None or merger.node_arrays is None:
+        return None
+    if merger._needs_merged_probability:
+        return None
+    uniform = merger.cell_policy.uniform_decision(merger.tech)
+    if uniform is None:
+        return None
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    cp = merger.controller_point
+    na = merger.tree.node(nid)
+    arrays = merger.node_arrays
+    maskable = uniform.maskable
+
+    w_a = na.enable_probability if maskable else 1.0
+    total = a_clk * na.subtree_cap * w_a
+    if maskable:
+        star_a = cp.manhattan_to(na.merging_segment.center())
+        total = total + (c * star_a + gate_in) * na.enable_transition_probability
+    w_b = arrays.enable_p[others] if maskable else 1.0
+    total = total + a_clk * arrays.cap[others] * w_b
+    if maskable:
+        star_b = _kernels.batch_star_length(
+            cp.x,
+            cp.y,
+            arrays.ulo[others],
+            arrays.uhi[others],
+            arrays.vlo[others],
+            arrays.vhi[others],
+        )
+        total = total + (c * star_b + gate_in) * arrays.enable_ptr[others]
+    return total + a_clk * c * distance * np.minimum(w_a, w_b)
+
+
 switched_capacitance_cost.lower_bound = _eq3_lower_bound
+switched_capacitance_cost.batch_lower_bound = _eq3_batch_lower_bound
 
 
 def incremental_switched_capacitance_cost(
@@ -158,6 +217,10 @@ def incremental_switched_capacitance_cost(
     identical for every candidate partner.  Including it per Eq. 3
     biases the greedy toward pairs of "cheap" nodes regardless of the
     wirelength the pairing commits, which inflates the routed tree.
+
+    This cost exposes no batch kernels: it needs the merged enable
+    probability, a per-pair oracle lookup over module-mask unions that
+    has no array form, so vectorized runs keep it on the scalar path.
     """
     tech = merger.tech
     c = tech.unit_wire_capacitance

@@ -136,13 +136,18 @@ def route_buffered(
     die: Optional[Die] = None,
     candidate_limit: Optional[int] = None,
     skew_bound: float = 0.0,
+    vectorize: bool = True,
 ) -> ClockRoutingResult:
     """The paper's baseline: buffered nearest-neighbour zero-skew tree."""
     tracer = get_tracer()
     with tracer.span("flow.route_buffered", n=len(sinks)):
         with tracer.span("topology.buffered", n=len(sinks)):
             tree = build_buffered_tree(
-                sinks, tech, candidate_limit=candidate_limit, skew_bound=skew_bound
+                sinks,
+                tech,
+                candidate_limit=candidate_limit,
+                skew_bound=skew_bound,
+                vectorize=vectorize,
             )
         return _measure("buffered", tree, tech, routing=None)
 
@@ -159,6 +164,7 @@ def route_gated(
     candidate_limit: Optional[int] = None,
     gate_sizing=None,
     skew_bound: float = 0.0,
+    vectorize: bool = True,
 ) -> ClockRoutingResult:
     """The paper's gated router, with or without gate reduction.
 
@@ -201,6 +207,7 @@ def route_gated(
                 candidate_limit=candidate_limit,
                 gate_sizing=gate_sizing,
                 skew_bound=skew_bound,
+                vectorize=vectorize,
             )
         if reduction is not None and policy is None:
             # apply_gate_reduction opens its own "gating.reduce" span.

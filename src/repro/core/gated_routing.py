@@ -37,6 +37,7 @@ def build_gated_tree(
     objective: str = "incremental",
     gate_sizing=None,
     skew_bound: float = 0.0,
+    vectorize: bool = True,
 ) -> ClockTree:
     """Build a zero-skew gated clock tree minimizing switched capacitance.
 
@@ -69,6 +70,9 @@ def build_gated_tree(
     gate_sizing:
         Optional :class:`repro.core.gate_sizing.GateSizingPolicy`;
         resizes cells instead of snaking wire on unbalanced merges.
+    vectorize:
+        Toggles the NumPy kernel screens of the greedy engine
+        (decision-neutral; see :class:`~repro.cts.dme.BottomUpMerger`).
     """
     from repro.core.cost import (
         incremental_switched_capacitance_cost,
@@ -91,5 +95,6 @@ def build_gated_tree(
         candidate_limit=candidate_limit,
         cell_sizer=gate_sizing,
         skew_bound=skew_bound,
+        vectorize=vectorize,
     )
     return merger.run()

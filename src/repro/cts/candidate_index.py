@@ -21,7 +21,13 @@ unscanned segment can still enter the result:
 
 after completing ring ``r`` (``rad`` is a segment's half-extent; the
 index keeps a high-water maximum over inserted segments, which stays a
-valid -- merely conservative -- bound after removals).
+valid -- merely conservative -- bound after removals).  Because large
+segments are born late in a merge and retire soon after, a grow-only
+high-water mark loosens the stop bound exactly when queries get
+expensive; the index therefore recomputes the true maximum whenever
+the live population halves since the mark was last exact, an O(N)
+scan amortized O(1) per removal (``radius_recomputes`` counts scans,
+``tightened_queries`` the queries that ran with a tightened bound).
 
 Results are ranked by ``(exact distance, id)``, byte-identical to the
 full-sort implementation the merger used before, so switching to the
@@ -56,15 +62,23 @@ class SegmentGridIndex:
         self._segments: Dict[int, Trr] = {}
         self._cells: Dict[Tuple[int, int], Set[int]] = {}
         self._cell_of: Dict[int, Tuple[int, int]] = {}
-        #: High-water half-extent of any segment ever inserted.  Never
-        #: lowered on removal: a too-large value only delays the stop
-        #: condition, it cannot make a query inexact.
+        #: High-water half-extent over the *live* segments.  A stale
+        #: (too large) value only delays the stop condition, it cannot
+        #: make a query inexact; it is recomputed exactly whenever the
+        #: population halves below :attr:`_peak_population`.
         self._max_radius = 0.0
+        #: Largest half-extent ever inserted (never lowered; used only
+        #: to detect that ``_max_radius`` has been tightened below it).
+        self._ever_max_radius = 0.0
+        #: Population when ``_max_radius`` was last known exact.
+        self._peak_population = 0
         # High-water bounding box of occupied cells, for termination.
         self._bounds: Optional[List[int]] = None  # [ulo, uhi, vlo, vhi]
         #: Query counters (read by the merger's ``MergerStats``).
         self.queries = 0
         self.cells_scanned = 0
+        self.radius_recomputes = 0
+        self.tightened_queries = 0
 
     # ------------------------------------------------------------------
     # maintenance
@@ -102,6 +116,8 @@ class SegmentGridIndex:
         self._cell_of[item_id] = cell
         self._cells.setdefault(cell, set()).add(item_id)
         self._max_radius = max(self._max_radius, self._radius(segment))
+        self._ever_max_radius = max(self._ever_max_radius, self._max_radius)
+        self._peak_population = max(self._peak_population, len(self._segments))
         if self._bounds is None:
             self._bounds = [cell[0], cell[0], cell[1], cell[1]]
         else:
@@ -121,6 +137,15 @@ class SegmentGridIndex:
         bucket.discard(item_id)
         if not bucket:
             del self._cells[cell]
+        if len(self._segments) * 2 <= self._peak_population:
+            # The population halved since the radius mark was last
+            # exact: re-derive it from the survivors so late queries
+            # stop on the live maximum, not on long-retired giants.
+            self._max_radius = max(
+                (self._radius(s) for s in self._segments.values()), default=0.0
+            )
+            self._peak_population = len(self._segments)
+            self.radius_recomputes += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -157,6 +182,8 @@ class SegmentGridIndex:
         if k < 1:
             raise ValueError("k must be positive")
         self.queries += 1
+        if self._max_radius < self._ever_max_radius:
+            self.tightened_queries += 1
         total = len(self._segments) - (1 if exclude in self._segments else 0)
         if total <= 0:
             return []

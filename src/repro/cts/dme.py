@@ -22,7 +22,7 @@ O(N^2) cost evaluations.  An optional ``candidate_limit`` restricts
 each node's candidates to its k geometrically nearest neighbours --
 the speed/quality trade-off explored in the ablation bench.
 
-Three switchable optimizations accelerate the loop without changing a
+Four switchable optimizations accelerate the loop without changing a
 single greedy decision (``merge_trace`` is byte-identical with them on
 or off; the tests assert this):
 
@@ -40,11 +40,23 @@ or off; the tests assert this):
   :mod:`repro.core.cost`) proves they cannot beat the current best.
   Bounds are shrunk by a relative margin far larger than accumulated
   float rounding, so a true winner can never be pruned by an
-  ulp-level tie.
+  ulp-level tie;
+* **vectorized kernel screens** (``vectorize=True``, the default)
+  batch-evaluate whole candidate sets with the NumPy kernels of
+  :mod:`repro.cts.kernels`.  Costs exposing ``batch_cost`` (the
+  nearest-neighbour objective) get an *exact* screen: one kernel call
+  ranks every candidate by ``(cost, id)`` and only the winner is
+  planned scalar.  Costs exposing only ``batch_lower_bound`` (the
+  Eq. 3 objective) get their pruning bounds batched instead.  The
+  kernels mirror the scalar float arithmetic bit for bit, and the
+  engine falls back to scalar ``plan()`` for everything they do not
+  model -- cells on edges in split-dependent costs, snaked splits,
+  bounded skew, the cell sizer -- so greedy decisions never change.
 
 :class:`MergerStats` counts plans, cache hits, heap traffic, index
-queries, and pruned probes; the scaling bench
-(``benchmarks/test_complexity_dme_cache.py``) records them.
+queries, pruned probes, kernel batches, and reused distances; the
+scaling benches (``benchmarks/test_complexity_dme_cache.py``,
+``benchmarks/test_dme_vectorize.py``) record them.
 """
 
 from __future__ import annotations
@@ -62,6 +74,12 @@ from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.geometry.point import Point
 from repro.tech.parameters import GateModel, Technology
+
+try:  # NumPy is a declared dependency, but the scalar engine must stay
+    # importable without it; vectorize silently degrades to scalar.
+    from repro.cts import kernels as _kernels
+except ImportError:  # pragma: no cover - NumPy present in CI images
+    _kernels = None
 
 
 @dataclass(frozen=True)
@@ -96,11 +114,27 @@ class CellPolicy:
     ) -> CellDecision:
         raise NotImplementedError
 
+    def uniform_decision(self, tech: Technology) -> Optional[CellDecision]:
+        """The constant decision this policy takes on *every* edge.
+
+        Policies whose :meth:`decide` ignores the child, probability
+        and distance arguments return that constant here; the
+        vectorized cost kernels rely on it to evaluate whole candidate
+        batches without per-pair ``decide`` calls.  The default
+        ``None`` (for data-dependent policies such as merge-time gate
+        reduction) simply keeps those batches on the scalar path -- it
+        can never change a decision.
+        """
+        return None
+
 
 class NoCellPolicy(CellPolicy):
     """Plain wires everywhere (unbuffered Tsay/DME tree)."""
 
     def decide(self, child, merged_probability, distance, tech) -> CellDecision:
+        return CellDecision(cell=None)
+
+    def uniform_decision(self, tech: Technology) -> Optional[CellDecision]:
         return CellDecision(cell=None)
 
 
@@ -110,11 +144,17 @@ class BufferEveryEdgePolicy(CellPolicy):
     def decide(self, child, merged_probability, distance, tech) -> CellDecision:
         return CellDecision(cell=tech.buffer, maskable=False)
 
+    def uniform_decision(self, tech: Technology) -> Optional[CellDecision]:
+        return CellDecision(cell=tech.buffer, maskable=False)
+
 
 class GateEveryEdgePolicy(CellPolicy):
     """The paper's default: a masking gate on every edge."""
 
     def decide(self, child, merged_probability, distance, tech) -> CellDecision:
+        return CellDecision(cell=tech.masking_gate, maskable=True)
+
+    def uniform_decision(self, tech: Technology) -> Optional[CellDecision]:
         return CellDecision(cell=tech.masking_gate, maskable=True)
 
 
@@ -140,6 +180,14 @@ class MergerStats:
     evaluations (zero-skew split + oracle statistics); everything the
     caching/pruning layers save shows up as ``plan_cache_hits`` and
     ``pruned_probes`` instead.
+
+    The kernel counters track the vectorized screens:
+    ``kernel_batches`` batched evaluations, ``kernel_candidates``
+    candidate lanes they covered, and ``kernel_scalar_fallbacks``
+    lanes handed back to the scalar ``plan()`` because the kernels do
+    not model them (snaked splits).  ``distance_reuses`` counts
+    ``plan()`` calls that received an already-measured segment distance
+    instead of re-deriving it.
     """
 
     plans_computed: int = 0
@@ -148,6 +196,10 @@ class MergerStats:
     stale_entries: int = 0
     index_queries: int = 0
     pruned_probes: int = 0
+    distance_reuses: int = 0
+    kernel_batches: int = 0
+    kernel_candidates: int = 0
+    kernel_scalar_fallbacks: int = 0
 
     @property
     def cost_probes(self) -> int:
@@ -168,6 +220,10 @@ class MergerStats:
             "stale_entries": self.stale_entries,
             "index_queries": self.index_queries,
             "pruned_probes": self.pruned_probes,
+            "distance_reuses": self.distance_reuses,
+            "kernel_batches": self.kernel_batches,
+            "kernel_candidates": self.kernel_candidates,
+            "kernel_scalar_fallbacks": self.kernel_scalar_fallbacks,
             "cost_probes": self.cost_probes,
         }
 
@@ -199,7 +255,27 @@ def _nearest_neighbor_lower_bound(
     return distance
 
 
+def _nearest_neighbor_batch_cost(merger, nid, others, distance, split=None):
+    """Exact batched costs: the cost *is* the batched distance.
+
+    ``batch_cost`` hooks receive the querying node, the candidate id
+    array, their batched segment distances and (only when the cost sets
+    ``batch_cost_needs_split``) a :class:`repro.cts.kernels.BatchSplit`.
+    They must return per-lane costs bit-identical to ``cost(plan(...))``
+    and symmetric under pair orientation.
+    """
+    return distance
+
+
+def _nearest_neighbor_batch_lower_bound(merger, nid, others, distance):
+    """Batched form of the (exact) distance lower bound."""
+    return distance
+
+
 nearest_neighbor_cost.lower_bound = _nearest_neighbor_lower_bound
+nearest_neighbor_cost.batch_cost = _nearest_neighbor_batch_cost
+nearest_neighbor_cost.batch_cost_needs_split = False
+nearest_neighbor_cost.batch_lower_bound = _nearest_neighbor_batch_lower_bound
 
 
 class BottomUpMerger:
@@ -232,11 +308,15 @@ class BottomUpMerger:
         edges' cells to balance the delays with less wire.  Sizing may
         swap cells after the split, which invalidates the pin terms of
         cost lower bounds, so it disables lower-bound pruning.
-    plan_cache / cost_pruning / spatial_index:
-        Debug flags for the three optimization layers (all on by
+    plan_cache / cost_pruning / spatial_index / vectorize:
+        Debug flags for the four optimization layers (all on by
         default).  Turning any of them off changes no greedy decision,
         only how much work the engine does; the determinism tests and
-        the scaling bench run both settings and compare traces.
+        the scaling benches run both settings and compare traces.
+        ``vectorize`` batch-evaluates candidate screens with the NumPy
+        kernels of :mod:`repro.cts.kernels` for costs exposing batch
+        hooks; everything the kernels do not model falls back to the
+        scalar path automatically.
     """
 
     def __init__(
@@ -253,6 +333,7 @@ class BottomUpMerger:
         plan_cache: bool = True,
         cost_pruning: bool = True,
         spatial_index: bool = True,
+        vectorize: bool = True,
     ):
         if not sinks:
             raise ValueError("at least one sink is required")
@@ -303,6 +384,43 @@ class BottomUpMerger:
             self._index = SegmentGridIndex(self._index_cell_size(sinks))
             for nid in self._active:
                 self._index.insert(nid, self.tree.node(nid).merging_segment)
+        self._vectorize = bool(vectorize) and _kernels is not None
+        self.node_arrays = None
+        """Struct-of-arrays mirror (:class:`repro.cts.kernels.NodeArrays`)
+        of active-node state, ``None`` when ``vectorize`` is off.  Batch
+        cost hooks read candidate rows from it by id."""
+        self._active_ids = None
+        self._batch_cost = getattr(cost, "batch_cost", None)
+        self._batch_cost_needs_split = bool(
+            getattr(cost, "batch_cost_needs_split", False)
+        )
+        self._batch_bound = getattr(cost, "batch_lower_bound", None)
+        uniform = None
+        if self._vectorize:
+            uniform = self.cell_policy.uniform_decision(tech)
+            capacity = 2 * len(sinks) - 1
+            self.node_arrays = _kernels.NodeArrays(capacity)
+            for nid in range(len(sinks)):
+                self.node_arrays.set_row(nid, self.tree.node(nid))
+            self._active_ids = _kernels.ActiveIds(range(len(sinks)), capacity)
+        # The exact screen replaces per-candidate plan() evaluation, so
+        # it must cover every case bit-exactly: no bounded skew, no
+        # sizing, and -- for costs that need the split -- no cells
+        # (the batch split models plain wires only).
+        cell_free = uniform is not None and uniform.cell is None
+        self._exact_screen = bool(
+            self._vectorize
+            and self._batch_cost is not None
+            and self.skew_bound == 0
+            and self.cell_sizer is None
+            and (not self._batch_cost_needs_split or cell_free)
+        )
+        # The bound screen only reorders/batches lower bounds the
+        # scalar pruning path would have computed anyway; the hook
+        # itself declines (returns None) when it cannot vectorize.
+        self._bound_screen = bool(
+            self._vectorize and self._prune and self._batch_bound is not None
+        )
         self.merge_trace: List[Tuple[int, int, int]] = []
         """(left, right, merged) triples, in merge order -- for tests."""
 
@@ -326,11 +444,23 @@ class BottomUpMerger:
             return self.oracle.signal_probability(na.module_mask | nb.module_mask)
         return None
 
-    def plan(self, a_id: int, b_id: int) -> MergePlan:
-        """Evaluate the merge of two active subtrees without committing."""
+    def plan(
+        self, a_id: int, b_id: int, distance: Optional[float] = None
+    ) -> MergePlan:
+        """Evaluate the merge of two active subtrees without committing.
+
+        ``distance`` threads an already-measured segment distance (from
+        a candidate ranking or a kernel screen) so the plan does not
+        re-derive it.  ``Trr.distance_to`` is symmetric at the bit
+        level -- the interval-gap arguments merely swap under ``max`` --
+        so a measurement taken in either pair orientation is exact.
+        """
         self.stats.plans_computed += 1
         na, nb = self.tree.node(a_id), self.tree.node(b_id)
-        distance = na.merging_segment.distance_to(nb.merging_segment)
+        if distance is None:
+            distance = na.merging_segment.distance_to(nb.merging_segment)
+        else:
+            self.stats.distance_reuses += 1
         merged_mask = na.module_mask | nb.module_mask
         merged_probability = None
         if self._needs_merged_probability and self.oracle is not None:
@@ -381,7 +511,9 @@ class BottomUpMerger:
             merged_probability=merged_probability,
         )
 
-    def _plan_pair(self, a_id: int, b_id: int) -> MergePlan:
+    def _plan_pair(
+        self, a_id: int, b_id: int, distance: Optional[float] = None
+    ) -> MergePlan:
         """:meth:`plan` through the memo.
 
         Keys are *ordered* pairs: ``plan(a, b)`` and ``plan(b, a)``
@@ -390,13 +522,13 @@ class BottomUpMerger:
         float an uncached run would have produced.
         """
         if not self._plan_cache_enabled:
-            return self.plan(a_id, b_id)
+            return self.plan(a_id, b_id, distance)
         key = (a_id, b_id)
         cached = self._plan_cache.get(key)
         if cached is not None:
             self.stats.plan_cache_hits += 1
             return cached
-        plan = self.plan(a_id, b_id)
+        plan = self.plan(a_id, b_id, distance)
         self._plan_cache[key] = plan
         self._plan_partners.setdefault(a_id, set()).add(b_id)
         self._plan_partners.setdefault(b_id, set()).add(a_id)
@@ -445,8 +577,10 @@ class BottomUpMerger:
     # ------------------------------------------------------------------
     # greedy pair selection
     # ------------------------------------------------------------------
-    def _pair_cost(self, a_id: int, b_id: int) -> float:
-        return self.cost(self._plan_pair(a_id, b_id), self)
+    def _pair_cost(
+        self, a_id: int, b_id: int, distance: Optional[float] = None
+    ) -> float:
+        return self.cost(self._plan_pair(a_id, b_id, distance), self)
 
     def _candidates_for(self, nid: int) -> List[int]:
         limit = self.candidate_limit
@@ -460,24 +594,121 @@ class BottomUpMerger:
         others.sort(key=lambda o: (ms.distance_to(self.tree.node(o).merging_segment), o))
         return others[:limit]
 
-    def _ranked_candidates(self, nid: int) -> List[Tuple[Optional[float], int]]:
-        """Candidates as ``(cost lower bound, id)``, cheapest bound first.
+    # ------------------------------------------------------------------
+    # vectorized candidate screens
+    # ------------------------------------------------------------------
+    def _batch_distances(self, nid: int, ids):
+        """Batched ``Trr.distance_to`` from ``nid`` to each candidate id."""
+        self.stats.kernel_batches += 1
+        self.stats.kernel_candidates += int(ids.size)
+        seg = self.tree.node(nid).merging_segment
+        arrays = self.node_arrays
+        return _kernels.batch_segment_distance(
+            seg.ulo,
+            seg.uhi,
+            seg.vlo,
+            seg.vhi,
+            arrays.ulo[ids],
+            arrays.uhi[ids],
+            arrays.vlo[ids],
+            arrays.vhi[ids],
+        )
 
-        Without pruning the bound is ``None`` and the original candidate
-        order is kept.
+    def _kernel_candidates(self, nid: int):
+        """:meth:`_candidates_for` as an id array, sorts batched."""
+        limit = self.candidate_limit
+        others = self._active_ids.others(nid)
+        if limit is None or others.size <= limit:
+            return others
+        if self._index is not None:
+            self.stats.index_queries += 1
+            ms = self.tree.node(nid).merging_segment
+            return _kernels.as_id_array(self._index.nearest(ms, limit, exclude=nid))
+        distance = self._batch_distances(nid, others)
+        return others[_kernels.rank_by_cost(others, distance)[:limit]]
+
+    def _screen_costs(self, nid: int, ids, canonical: bool = False):
+        """Exact batched ``(costs, distances)`` over candidate ids.
+
+        Per-lane costs are bit-identical to ``self.cost`` over scalar
+        plans: in-range zero-skew lanes come from the batch kernels,
+        every lane the kernels cannot model (snaked splits) falls back
+        to a scalar plan, counted in ``kernel_scalar_fallbacks``.
+        ``canonical`` orients those fallback plans as ``(min id,
+        max id)``, matching the scalar initialization scans.
+        """
+        distance = self._batch_distances(nid, ids)
+        split = None
+        if self._batch_cost_needs_split:
+            node = self.tree.node(nid)
+            split = _kernels.batch_zero_skew_split(
+                distance,
+                node.subtree_cap,
+                node.sink_delay,
+                self.node_arrays.cap[ids],
+                self.node_arrays.delay[ids],
+                self.tech.unit_wire_resistance,
+                self.tech.unit_wire_capacitance,
+            )
+        costs = self._batch_cost(self, nid, ids, distance, split)
+        if split is not None:
+            lanes = _kernels.out_of_range_lanes(split)
+            if lanes:
+                costs = costs.copy()
+                for j in lanes:
+                    other = int(ids[j])
+                    d = float(distance[j])
+                    if canonical and other < nid:
+                        costs[j] = self._pair_cost(other, nid, distance=d)
+                    else:
+                        costs[j] = self._pair_cost(nid, other, distance=d)
+                    self.stats.kernel_scalar_fallbacks += 1
+        return costs, distance
+
+    def _kernel_rank(self, nid: int, candidates: List[int]):
+        """Batched lower bounds for :meth:`_ranked_candidates`, or
+        ``None`` when the cost's ``batch_lower_bound`` declines."""
+        ids = _kernels.as_id_array(candidates)
+        distance = self._batch_distances(nid, ids)
+        bounds = self._batch_bound(self, nid, ids, distance)
+        if bounds is None:
+            return None
+        scaled = bounds * _LOWER_BOUND_MARGIN
+        order = _kernels.rank_by_cost(ids, scaled)
+        return list(
+            zip(
+                scaled[order].tolist(),
+                ids[order].tolist(),
+                distance[order].tolist(),
+            )
+        )
+
+    def _ranked_candidates(
+        self, nid: int
+    ) -> List[Tuple[Optional[float], int, Optional[float]]]:
+        """Candidates as ``(cost lower bound, id, distance)``, cheapest
+        bound first.
+
+        Without pruning the bound and distance are ``None`` and the
+        original candidate order is kept.  The measured distance rides
+        along so the plan evaluation that usually follows can reuse it
+        (:attr:`MergerStats.distance_reuses`).
         """
         candidates = self._candidates_for(nid)
         if not self._prune:
-            return [(None, o) for o in candidates]
+            return [(None, o, None) for o in candidates]
+        if self._bound_screen and candidates:
+            ranked = self._kernel_rank(nid, candidates)
+            if ranked is not None:
+                return ranked
         node = self.tree.node(nid)
         ms = node.merging_segment
         scored = []
         for other in candidates:
             peer = self.tree.node(other)
-            bound = self._lower_bound(
-                self, node, peer, ms.distance_to(peer.merging_segment)
-            )
-            scored.append((bound * _LOWER_BOUND_MARGIN, other))
+            distance = ms.distance_to(peer.merging_segment)
+            bound = self._lower_bound(self, node, peer, distance)
+            scored.append((bound * _LOWER_BOUND_MARGIN, other, distance))
         scored.sort()
         return scored
 
@@ -498,10 +729,32 @@ class BottomUpMerger:
         pruned per-node scans reproduce, bit for bit, the costs the
         shared all-pairs loop would have produced (``plan(a, b)`` and
         ``plan(b, a)`` agree only to rounding).
+
+        With an exact kernel screen one batch ranks every candidate by
+        ``(cost, id)`` -- the same comparison the scalar loop applies,
+        over the same bit-identical floats -- and only the winner gets
+        a scalar plan.  Split-dependent batch costs skip the canonical
+        scans: their batch orientation is fixed at ``(nid, other)``,
+        and only orientation-agnostic lanes may bypass ``plan()``.
         """
+        if self._exact_screen and not (canonical and self._batch_cost_needs_split):
+            ids = self._kernel_candidates(nid)
+            if ids.size == 0:
+                self._best.pop(nid, None)
+                return
+            costs, distance = self._screen_costs(nid, ids, canonical=canonical)
+            j = int(_kernels.rank_by_cost(ids, costs)[0])
+            partner = int(ids[j])
+            d = float(distance[j])
+            if canonical and partner < nid:
+                cost = self._pair_cost(partner, nid, distance=d)
+            else:
+                cost = self._pair_cost(nid, partner, distance=d)
+            self._set_best(nid, cost, partner)
+            return
         best_cost, best_partner = None, None
         ranked = self._ranked_candidates(nid)
-        for i, (bound, other) in enumerate(ranked):
+        for i, (bound, other, distance) in enumerate(ranked):
             if (
                 bound is not None
                 and best_cost is not None
@@ -511,9 +764,9 @@ class BottomUpMerger:
                 self.stats.pruned_probes += len(ranked) - i
                 break
             if canonical and other < nid:
-                cost = self._pair_cost(other, nid)
+                cost = self._pair_cost(other, nid, distance=distance)
             else:
-                cost = self._pair_cost(nid, other)
+                cost = self._pair_cost(nid, other, distance=distance)
             if best_cost is None or (cost, other) < (best_cost, best_partner):
                 best_cost, best_partner = cost, other
         if best_partner is None:
@@ -526,10 +779,13 @@ class BottomUpMerger:
             for nid in sorted(self._active):
                 self._recompute_best(nid)
             return
-        if self._prune:
+        if self._prune or (
+            self._exact_screen and not self._batch_cost_needs_split
+        ):
             # Same outcome as the all-pairs loop below (canonical pair
             # orientation keeps every cost float identical), but the
-            # lower-bound pruning skips almost every plan evaluation.
+            # lower-bound pruning -- or the exact kernel screen --
+            # skips almost every plan evaluation.
             for nid in sorted(self._active):
                 self._recompute_best(nid, canonical=True)
             return
@@ -566,16 +822,31 @@ class BottomUpMerger:
     def _retire(self, nid: int) -> Set[int]:
         """Deactivate a node; return nodes that pointed at it."""
         self._active.discard(nid)
+        if self._active_ids is not None:
+            self._active_ids.discard(nid)
         self._best.pop(nid, None)
         self._invalidate_plans(nid)
         if self._index is not None and nid in self._index:
             self._index.remove(nid)
         return self._reverse.pop(nid, set())
 
+    def _activate(self, nid: int) -> None:
+        """Mark a node active in the set, id array, and spatial index."""
+        self._active.add(nid)
+        if self._active_ids is not None:
+            self._active_ids.add(nid)
+        if self._index is not None:
+            self._index.insert(nid, self.tree.node(nid).merging_segment)
+
     def _introduce(self, merged_id: int) -> None:
         """Register a new subtree and refresh neighbours' best pairs."""
+        if self.node_arrays is not None:
+            self.node_arrays.set_row(merged_id, self.tree.node(merged_id))
+        if self._exact_screen:
+            self._introduce_screened(merged_id)
+            return
         best_cost, best_partner = None, None
-        for bound, other in self._ranked_candidates(merged_id):
+        for bound, other, distance in self._ranked_candidates(merged_id):
             if bound is not None:
                 need_self = best_cost is None or (bound, other) < (
                     best_cost,
@@ -586,15 +857,44 @@ class BottomUpMerger:
                 if not (need_self or need_other):
                     self.stats.pruned_probes += 1
                     continue
-            cost = self._pair_cost(merged_id, other)
+            cost = self._pair_cost(merged_id, other, distance=distance)
             if best_cost is None or (cost, other) < (best_cost, best_partner):
                 best_cost, best_partner = cost, other
             current = self._best.get(other)
             if current is None or (cost, merged_id) < (current[0], current[1]):
                 self._set_best(other, cost, merged_id)
-        self._active.add(merged_id)
-        if self._index is not None:
-            self._index.insert(merged_id, self.tree.node(merged_id).merging_segment)
+        self._activate(merged_id)
+        if best_partner is not None:
+            self._set_best(merged_id, best_cost, best_partner)
+
+    def _introduce_screened(self, merged_id: int) -> None:
+        """Kernel-screened :meth:`_introduce`.
+
+        One batch evaluates every candidate's exact pair cost; only the
+        new node's winning partner gets a scalar plan.  Neighbour
+        updates apply the scalar loop's exact condition
+        ``(cost, merged_id) < (current cost, current partner)`` to the
+        bit-identical batched costs, so the resulting best-pair state
+        matches the scalar path's (update *order* differs, but
+        generation staleness makes heap outcomes order-independent).
+        """
+        ids = self._kernel_candidates(merged_id)
+        best_cost, best_partner = None, None
+        if ids.size:
+            costs, distance = self._screen_costs(merged_id, ids)
+            order = _kernels.rank_by_cost(ids, costs)
+            j = int(order[0])
+            best_partner = int(ids[j])
+            best_cost = self._pair_cost(
+                merged_id, best_partner, distance=float(distance[j])
+            )
+            for j in order.tolist():
+                other = int(ids[j])
+                cost = float(costs[j])
+                current = self._best.get(other)
+                if current is None or (cost, merged_id) < (current[0], current[1]):
+                    self._set_best(other, cost, merged_id)
+        self._activate(merged_id)
         if best_partner is not None:
             self._set_best(merged_id, best_cost, best_partner)
 
@@ -620,6 +920,7 @@ class BottomUpMerger:
             cost=getattr(self.cost, "__name__", type(self.cost).__name__),
             policy=type(self.cell_policy).__name__,
             candidate_limit=self.candidate_limit,
+            vectorize=self._vectorize,
         ) as span:
             if num_sinks == 1:
                 (only,) = self._active
@@ -648,6 +949,8 @@ class BottomUpMerger:
                 plans_computed=self.stats.plans_computed,
                 plan_cache_hits=self.stats.plan_cache_hits,
                 pruned_probes=self.stats.pruned_probes,
+                kernel_batches=self.stats.kernel_batches,
+                distance_reuses=self.stats.distance_reuses,
             )
             publish_merger_stats(self.stats)
             publish_index_stats(self._index)

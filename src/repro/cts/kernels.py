@@ -1,0 +1,299 @@
+"""Vectorized NumPy kernels for the DME hot path.
+
+The greedy merger's inner loops (``_initialize_best``,
+``_recompute_best``, ``_introduce``) evaluate one candidate pair at a
+time: a ``Trr.distance_to`` call, a ``zero_skew_split``, and a cost.
+This module evaluates the same arithmetic over whole candidate
+*batches* with NumPy array expressions, so a screen over N candidates
+is a handful of vector operations instead of N Python call chains.
+
+Exact-parity contract
+---------------------
+Every kernel mirrors its scalar counterpart **operation for operation**
+in IEEE-754 double precision: the same subtractions, the same
+association order, the same ``max``/``min`` structure.  NumPy's
+elementwise float64 arithmetic performs the identical rounding to
+CPython's float arithmetic, so the batched results are bit-identical
+to the scalar ones -- not merely close.  The merger relies on this to
+keep its greedy decisions (and therefore ``merge_trace``) byte-equal
+between ``vectorize=True`` and ``vectorize=False`` runs; the property
+tests in ``tests/test_cts_kernels.py`` assert exact float equality.
+
+What is batched:
+
+* :func:`batch_segment_distance` -- ``Trr.distance_to`` over
+  ``(ulo, uhi, vlo, vhi)`` arrays;
+* :func:`batch_zero_skew_split` -- the cell-free
+  ``repro.cts.merge.zero_skew_split`` linear balance ``x = num / den``,
+  with the degenerate-denominator and out-of-range classification
+  masks.  Out-of-range (snaking) lanes are *classified only*: their
+  results are not modelled here, and the merger falls back to the
+  scalar ``plan()`` for them;
+* :func:`batch_star_length` -- controller-to-segment-center Manhattan
+  distance (the enable-star estimate of the Eq. 3 cost terms).
+
+:class:`NodeArrays` is the struct-of-arrays mirror of per-node merge
+state the merger keeps in sync through ``_retire``/``_introduce``;
+:class:`ActiveIds` maintains the active-id array with O(1)
+swap-removal so candidate gathers are single fancy-index operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.cts.merge import DEGENERATE_DEN_EPS, DEGENERATE_SKEW_EPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dme -> kernels)
+    from repro.cts.topology import ClockNode
+
+
+def as_id_array(ids: Sequence[int]) -> np.ndarray:
+    """Candidate ids as an ``int64`` array (the kernels' id dtype)."""
+    return np.asarray(list(ids), dtype=np.int64)
+
+
+def rank_by_cost(ids: np.ndarray, costs: np.ndarray) -> np.ndarray:
+    """Indices ordering candidates by ``(cost, id)`` ascending.
+
+    This is the scalar greedy's exact comparison: cheapest cost first,
+    float ties broken by the smaller node id.
+    """
+    return np.lexsort((ids, costs))
+
+
+def batch_segment_distance(
+    a_ulo: float,
+    a_uhi: float,
+    a_vlo: float,
+    a_vhi: float,
+    b_ulo: np.ndarray,
+    b_uhi: np.ndarray,
+    b_vlo: np.ndarray,
+    b_vhi: np.ndarray,
+) -> np.ndarray:
+    """``Trr.distance_to`` of one query segment against a batch.
+
+    Mirrors ``_interval_gap``: ``max(0, lo2 - hi1, lo1 - hi2)`` per
+    axis, then the max of the two gaps.  ``max`` is rounding-free, so
+    the result is bit-identical to the scalar call in either pair
+    orientation (the gap arguments just swap).
+    """
+    gu = np.maximum(0.0, np.maximum(b_ulo - a_uhi, a_ulo - b_uhi))
+    gv = np.maximum(0.0, np.maximum(b_vlo - a_vhi, a_vlo - b_vhi))
+    return np.maximum(gu, gv)
+
+
+def batch_star_length(
+    px: float,
+    py: float,
+    ulo: np.ndarray,
+    uhi: np.ndarray,
+    vlo: np.ndarray,
+    vhi: np.ndarray,
+) -> np.ndarray:
+    """Manhattan distance from one point to each segment's center.
+
+    Mirrors ``point.manhattan_to(segment.center())``:
+    ``center = from_uv((ulo+uhi)/2, (vlo+vhi)/2)`` then
+    ``|px - cx| + |py - cy|``, with the exact intermediate roundings of
+    the scalar chain.
+    """
+    u = (ulo + uhi) / 2.0
+    v = (vlo + vhi) / 2.0
+    cx = (u + v) / 2.0
+    cy = (u - v) / 2.0
+    return np.abs(px - cx) + np.abs(py - cy)
+
+
+@dataclass(frozen=True)
+class BatchSplit:
+    """Vectorized ``zero_skew_split`` outcome over a candidate batch.
+
+    The per-lane values (``length_a`` .. ``merged_cap``) are valid only
+    where ``in_range`` is True; snaking lanes (``snake_a``/``snake_b``)
+    carry zeros there and must be re-evaluated with the scalar
+    ``zero_skew_split``.
+    """
+
+    x: np.ndarray
+    length_a: np.ndarray
+    length_b: np.ndarray
+    delay: np.ndarray
+    presented_a: np.ndarray
+    presented_b: np.ndarray
+    merged_cap: np.ndarray
+    in_range: np.ndarray
+    degenerate: np.ndarray
+    snake_a: np.ndarray
+    snake_b: np.ndarray
+
+
+def batch_zero_skew_split(
+    length: np.ndarray,
+    cap_a: float,
+    delay_a: float,
+    cap_b: np.ndarray,
+    delay_b: np.ndarray,
+    r: float,
+    c: float,
+) -> BatchSplit:
+    """Cell-free ``zero_skew_split`` over a batch of candidates.
+
+    Side ``a`` is the (scalar) query node, side ``b`` the candidate
+    arrays.  With no cells the drive/intrinsic terms vanish exactly
+    (``0.0 * finite == 0.0`` and ``0.0 + x == x`` for the non-negative
+    operands involved), so each expression below reproduces the scalar
+    function's float chain bit for bit on the in-range path.
+    """
+    den = r * (cap_a + cap_b) + r * c * length
+    skew = delay_b - delay_a
+    num = length * (r * cap_b) + r * c * length * length / 2.0 + skew
+
+    degenerate = den <= DEGENERATE_DEN_EPS
+    safe_den = np.where(degenerate, 1.0, den)
+    x = num / safe_den
+    if degenerate.any():
+        # Scalar classification: equal subtrees split trivially, a
+        # slower side forces the snaking path via an out-of-range x.
+        deg_x = np.where(
+            np.abs(skew) <= DEGENERATE_SKEW_EPS,
+            length / 2.0,
+            np.where(skew > 0, length + 1.0, -1.0),
+        )
+        x = np.where(degenerate, deg_x, x)
+
+    snake_b = x < 0.0
+    snake_a = x > length
+    in_range = ~(snake_a | snake_b)
+
+    e_a = np.where(in_range, x, 0.0)
+    e_b = np.where(in_range, length - x, 0.0)
+    edge_delay_a = r * e_a * (c * e_a / 2.0 + cap_a) + delay_a
+    edge_delay_b = r * e_b * (c * e_b / 2.0 + cap_b) + delay_b
+    presented_a = c * e_a + cap_a
+    presented_b = c * e_b + cap_b
+    return BatchSplit(
+        x=x,
+        length_a=e_a,
+        length_b=e_b,
+        delay=np.maximum(edge_delay_a, edge_delay_b),
+        presented_a=presented_a,
+        presented_b=presented_b,
+        merged_cap=presented_a + presented_b,
+        in_range=in_range,
+        degenerate=degenerate,
+        snake_a=snake_a,
+        snake_b=snake_b,
+    )
+
+
+def out_of_range_lanes(split: BatchSplit) -> list:
+    """Lane indices the batch split could not model (snaking sides)."""
+    return np.nonzero(~split.in_range)[0].tolist()
+
+
+class NodeArrays:
+    """Struct-of-arrays mirror of the merger's per-node state.
+
+    One float64 row per node id: merging-segment extents in rotated
+    coordinates, presented subtree capacitance, zero-skew sink delay
+    (which equals the unloaded delay on the cell-free path the split
+    kernel models), and the enable probabilities the Eq. 3 bound terms
+    read.  Rows are written once -- at construction for sinks and from
+    ``_introduce`` for merged nodes -- and never change afterwards, so
+    candidate gathers are plain fancy indexing.
+    """
+
+    _FIELDS = (
+        "ulo",
+        "uhi",
+        "vlo",
+        "vhi",
+        "cap",
+        "delay",
+        "enable_p",
+        "enable_ptr",
+    )
+
+    __slots__ = _FIELDS
+
+    def __init__(self, capacity: int):
+        capacity = max(1, int(capacity))
+        for name in self._FIELDS:
+            setattr(self, name, np.zeros(capacity, dtype=np.float64))
+
+    def _grow(self, needed: int) -> None:
+        size = max(needed + 1, 2 * self.ulo.size)
+        for name in self._FIELDS:
+            old = getattr(self, name)
+            grown = np.zeros(size, dtype=np.float64)
+            grown[: old.size] = old
+            setattr(self, name, grown)
+
+    def set_row(self, nid: int, node: "ClockNode") -> None:
+        """Mirror one node's merge state under its id."""
+        if nid >= self.ulo.size:
+            self._grow(nid)
+        seg = node.merging_segment
+        self.ulo[nid], self.uhi[nid], self.vlo[nid], self.vhi[nid] = seg.bounds_uv
+        self.cap[nid] = node.subtree_cap
+        self.delay[nid] = node.sink_delay
+        self.enable_p[nid] = node.enable_probability
+        self.enable_ptr[nid] = node.enable_transition_probability
+
+
+class ActiveIds:
+    """Dense ``int64`` array of active node ids with O(1) add/remove.
+
+    Removal swaps the last id into the vacated slot, so the live prefix
+    stays contiguous and a candidate batch is one slice (order is
+    arbitrary -- the kernels rank by ``(cost, id)``, which is
+    order-independent).
+    """
+
+    __slots__ = ("_ids", "_pos", "_count")
+
+    def __init__(self, ids: Iterable[int], capacity: int = 0):
+        self._ids = np.empty(max(1, int(capacity)), dtype=np.int64)
+        self._pos = {}
+        self._count = 0
+        for nid in ids:
+            self.add(nid)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, nid: int) -> None:
+        if nid in self._pos:
+            return
+        if self._count == self._ids.size:
+            grown = np.empty(2 * self._ids.size, dtype=np.int64)
+            grown[: self._count] = self._ids[: self._count]
+            self._ids = grown
+        self._ids[self._count] = nid
+        self._pos[nid] = self._count
+        self._count += 1
+
+    def discard(self, nid: int) -> None:
+        pos = self._pos.pop(nid, None)
+        if pos is None:
+            return
+        last = self._count - 1
+        if pos != last:
+            moved = int(self._ids[last])
+            self._ids[pos] = moved
+            self._pos[moved] = pos
+        self._count = last
+
+    def view(self) -> np.ndarray:
+        """The live ids (a borrowed view; do not mutate)."""
+        return self._ids[: self._count]
+
+    def others(self, nid: int) -> np.ndarray:
+        """The live ids except ``nid`` (a fresh array)."""
+        view = self.view()
+        return view[view != nid]

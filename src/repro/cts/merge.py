@@ -35,6 +35,12 @@ from repro.tech.parameters import GateModel, Technology
 
 _EPS = 1e-12
 
+#: Tolerances of :func:`zero_skew_split`'s degenerate-balance branch,
+#: shared with the vectorized mirror (:mod:`repro.cts.kernels`) so the
+#: two classifiers can never drift apart.
+DEGENERATE_DEN_EPS = _EPS
+DEGENERATE_SKEW_EPS = 1e-12
+
 
 class SkewBalanceError(ValueError):
     """Raised when no wire assignment can balance the two subtrees.
@@ -157,13 +163,13 @@ def zero_skew_split(length: float, tap_a: Tap, tap_b: Tap, tech: Technology) -> 
         + r * c * length
     )
     skew_at_zero = tap_b.unloaded_delay() - tap_a.unloaded_delay()
-    if den <= _EPS:
+    if den <= DEGENERATE_DEN_EPS:
         # The linear balance is degenerate (zero distance and unloaded,
         # undriven subtrees).  Equal subtrees split trivially; otherwise
         # force the snaking path, which can still balance through the
         # wire's own RC (handled below; _snake_length raises when even
         # that is absent).
-        if abs(skew_at_zero) <= 1e-12:
+        if abs(skew_at_zero) <= DEGENERATE_SKEW_EPS:
             x = length / 2.0
         elif skew_at_zero > 0:
             x = length + 1.0  # b is slower: snake a

@@ -99,6 +99,12 @@ class Trr:
     # basic queries
     # ------------------------------------------------------------------
     @property
+    def bounds_uv(self) -> Tuple[float, float, float, float]:
+        """``(ulo, uhi, vlo, vhi)`` -- the row format of the vectorized
+        kernels' struct-of-arrays mirror (:mod:`repro.cts.kernels`)."""
+        return (self.ulo, self.uhi, self.vlo, self.vhi)
+
+    @property
     def u_extent(self) -> float:
         return self.uhi - self.ulo
 

@@ -31,6 +31,8 @@ def publish_index_stats(index, registry: Optional[MetricsRegistry] = None) -> No
     registry = registry or get_registry()
     registry.counter("dme.index.queries").inc(index.queries)
     registry.counter("dme.index.cells_scanned").inc(index.cells_scanned)
+    registry.counter("dme.index.radius_recomputes").inc(index.radius_recomputes)
+    registry.counter("dme.index.tightened_queries").inc(index.tightened_queries)
 
 
 def publish_oracle_cache(oracle, registry: Optional[MetricsRegistry] = None) -> None:

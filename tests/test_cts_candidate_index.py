@@ -130,6 +130,98 @@ class TestExactness:
         assert index.nearest(q, 8) == brute_force_nearest(alive, q, 8)
 
 
+class TestRadiusHighWater:
+    """The max-radius stop bound re-tightens as the population shrinks."""
+
+    @staticmethod
+    def _mixed_population(big_radius=40.0):
+        """99 unit arcs plus one giant; the giant is id 0."""
+        segments = {0: Trr(0.0, 2 * big_radius, 0.0, 0.0)}
+        rng = np.random.default_rng(9)
+        for iid in range(1, 100):
+            p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            segments[iid] = Trr(p.u, p.u + 1.0, p.v, p.v)
+        return segments
+
+    def test_recompute_fires_when_population_halves(self):
+        segments = self._mixed_population()
+        index = SegmentGridIndex(10.0)
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+        assert index._max_radius == pytest.approx(40.0)
+        index.remove(0)  # the giant retires early...
+        for iid in range(1, 50):  # ...then the population halves
+            index.remove(iid)
+        assert index.radius_recomputes >= 1
+        assert index._max_radius == pytest.approx(0.5)
+        assert index._ever_max_radius == pytest.approx(40.0)
+
+    def test_tightened_queries_counted_and_exact(self):
+        segments = self._mixed_population()
+        index = SegmentGridIndex(10.0)
+        alive = dict(segments)
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+        for iid in range(0, 60):
+            index.remove(iid)
+            del alive[iid]
+        assert index._max_radius < index._ever_max_radius
+        before = index.tightened_queries
+        q = Trr.from_point(Point(50, 50))
+        got = index.nearest(q, 6)
+        assert index.tightened_queries == before + 1
+        assert got == brute_force_nearest(alive, q, 6)
+
+    def test_untightened_queries_not_counted(self):
+        index = SegmentGridIndex(10.0)
+        for iid in range(8):
+            index.insert(iid, Trr.from_point(Point(iid, 0.0)))
+        index.nearest(Trr.from_point(Point(0, 0)), 3)
+        assert index.tightened_queries == 0
+
+    def test_tightened_bound_scans_fewer_cells(self):
+        """The recompute pays off: late queries stop on earlier rings."""
+        segments = self._mixed_population()
+
+        class FrozenIndex(SegmentGridIndex):
+            def remove(self, item_id):
+                # Suppress the recompute: the high-water mark persists.
+                peak, self._peak_population = self._peak_population, 0
+                try:
+                    super().remove(item_id)
+                finally:
+                    self._peak_population = peak
+
+        scans = {}
+        for cls in (SegmentGridIndex, FrozenIndex):
+            index = cls(5.0)
+            for iid, seg in segments.items():
+                index.insert(iid, seg)
+            for iid in range(0, 80):
+                index.remove(iid)
+            before = index.cells_scanned
+            for iid in range(80, 100):
+                index.nearest(segments[iid], 4, exclude=iid)
+            scans[cls.__name__] = index.cells_scanned - before
+        assert scans["SegmentGridIndex"] < scans["FrozenIndex"]
+
+    def test_dynamic_updates_with_recompute_stay_exact(self):
+        rng = np.random.default_rng(11)
+        segments = random_segments(rng, 80, max_arc=30.0)
+        index = SegmentGridIndex(6.0)
+        alive = dict(segments)
+        for iid, seg in segments.items():
+            index.insert(iid, seg)
+        removal_order = list(rng.permutation(80))
+        for step, iid in enumerate(removal_order[:70]):
+            index.remove(int(iid))
+            del alive[int(iid)]
+            if step % 7 == 0 and alive:
+                q = Trr.from_point(Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+                assert index.nearest(q, 5) == brute_force_nearest(alive, q, 5)
+        assert index.radius_recomputes >= 1
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     coords=st.lists(

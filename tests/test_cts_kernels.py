@@ -1,0 +1,470 @@
+"""Kernel/scalar parity tests for the vectorized DME screens.
+
+Two layers of defence:
+
+* **property tests** pin the exact-parity contract of
+  :mod:`repro.cts.kernels` -- the batched distance, split, and
+  enable-star kernels must agree with their scalar counterparts to
+  *exact float equality* (``==``, not approx) on everything they model;
+* **trace determinism tests** run the full merger with ``vectorize``
+  on and off across every cost/policy/fallback configuration and
+  assert byte-identical ``merge_trace`` and wirelength.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity import ActivityOracle, ActivityTables, InstructionStream
+from repro.activity.isa import paper_example_isa, paper_example_stream
+from repro.core.cost import (
+    incremental_switched_capacitance_cost,
+    switched_capacitance_cost,
+)
+from repro.cts import BottomUpMerger, Sink
+from repro.cts.dme import (
+    BufferEveryEdgePolicy,
+    GateEveryEdgePolicy,
+    NoCellPolicy,
+    nearest_neighbor_cost,
+)
+from repro.cts import kernels
+from repro.cts.merge import Tap, zero_skew_split
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+from repro.obs import MetricsRegistry, set_registry
+from repro.tech import unit_technology
+
+NUM_MODULES = 6  # paper_example_isa()
+
+coords = st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False)
+extents = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+caps = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+delays = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+lengths = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def arcs(draw):
+    """A random Manhattan arc (degenerate in one rotated axis)."""
+    u, v = draw(coords), draw(coords)
+    length = draw(extents)
+    if draw(st.booleans()):
+        return Trr(u, u + length, v, v)
+    return Trr(u, u, v, v + length)
+
+
+def batch_of(segments):
+    return (
+        np.array([s.ulo for s in segments]),
+        np.array([s.uhi for s in segments]),
+        np.array([s.vlo for s in segments]),
+        np.array([s.vhi for s in segments]),
+    )
+
+
+class TestBatchDistanceParity:
+    @settings(max_examples=200, deadline=None)
+    @given(a=arcs(), others=st.lists(arcs(), min_size=1, max_size=8))
+    def test_exact_equality_with_scalar(self, a, others):
+        got = kernels.batch_segment_distance(
+            a.ulo, a.uhi, a.vlo, a.vhi, *batch_of(others)
+        )
+        for j, b in enumerate(others):
+            assert got[j] == a.distance_to(b)  # exact, not approx
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=arcs(), b=arcs())
+    def test_orientation_symmetric(self, a, b):
+        ab = kernels.batch_segment_distance(
+            a.ulo, a.uhi, a.vlo, a.vhi, *batch_of([b])
+        )
+        ba = kernels.batch_segment_distance(
+            b.ulo, b.uhi, b.vlo, b.vhi, *batch_of([a])
+        )
+        assert ab[0] == ba[0] == a.distance_to(b)
+
+    def test_touching_segments_have_zero_distance(self):
+        a = Trr(0.0, 4.0, 0.0, 0.0)
+        b = Trr(4.0, 8.0, 0.0, 0.0)
+        got = kernels.batch_segment_distance(
+            a.ulo, a.uhi, a.vlo, a.vhi, *batch_of([b])
+        )
+        assert got[0] == 0.0
+
+
+class TestBatchStarParity:
+    @settings(max_examples=200, deadline=None)
+    @given(px=coords, py=coords, others=st.lists(arcs(), min_size=1, max_size=8))
+    def test_exact_equality_with_scalar(self, px, py, others):
+        cp = Point(px, py)
+        got = kernels.batch_star_length(cp.x, cp.y, *batch_of(others))
+        for j, seg in enumerate(others):
+            assert got[j] == cp.manhattan_to(seg.center())
+
+
+class TestBatchSplitParity:
+    """Cell-free batched splits agree with ``zero_skew_split`` exactly."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        length=lengths,
+        cap_a=caps,
+        delay_a=delays,
+        sides=st.lists(st.tuples(caps, delays), min_size=1, max_size=8),
+    )
+    def test_in_range_lanes_bit_identical(self, length, cap_a, delay_a, sides):
+        tech = unit_technology()
+        r, c = tech.unit_wire_resistance, tech.unit_wire_capacitance
+        n = len(sides)
+        split = kernels.batch_zero_skew_split(
+            np.full(n, length),
+            cap_a,
+            delay_a,
+            np.array([s[0] for s in sides]),
+            np.array([s[1] for s in sides]),
+            r,
+            c,
+        )
+        tap_a = Tap(cap=cap_a, delay=delay_a)
+        for j, (cap_b, delay_b) in enumerate(sides):
+            scalar = zero_skew_split(length, tap_a, Tap(cap=cap_b, delay=delay_b), tech)
+            # Classification always matches the scalar branch taken.
+            assert bool(split.snake_a[j]) == (scalar.snaked == "a")
+            assert bool(split.snake_b[j]) == (scalar.snaked == "b")
+            assert bool(split.in_range[j]) == (scalar.snaked is None)
+            if split.in_range[j]:
+                # Exact equality on every modelled quantity.
+                assert split.length_a[j] == scalar.length_a
+                assert split.length_b[j] == scalar.length_b
+                assert split.delay[j] == scalar.delay
+                assert split.presented_a[j] == scalar.presented_a
+                assert split.presented_b[j] == scalar.presented_b
+                assert split.merged_cap[j] == scalar.merged_cap
+
+    def test_degenerate_denominator_classification(self):
+        # r*(cap_a+cap_b) + r*c*L == 0: the scalar branches on the skew.
+        tech = unit_technology()
+        r, c = tech.unit_wire_resistance, tech.unit_wire_capacitance
+        split = kernels.batch_zero_skew_split(
+            np.zeros(3),
+            0.0,
+            5.0,
+            np.zeros(3),
+            np.array([5.0, 9.0, 1.0]),  # equal / b slower / a slower
+            r,
+            c,
+        )
+        assert split.degenerate.all()
+        assert bool(split.in_range[0]) and split.x[0] == 0.0
+        assert bool(split.snake_a[1])  # b slower: snake a
+        assert bool(split.snake_b[2])  # a slower: snake b
+
+    def test_out_of_range_lanes_listed(self):
+        tech = unit_technology()
+        r, c = tech.unit_wire_resistance, tech.unit_wire_capacitance
+        split = kernels.batch_zero_skew_split(
+            np.array([10.0, 10.0]),
+            1.0,
+            0.0,
+            np.array([1.0, 1.0]),
+            np.array([0.0, 1e6]),  # balanced / wildly slower b: snake a
+            r,
+            c,
+        )
+        assert kernels.out_of_range_lanes(split) == [1]
+
+
+class TestNodeArrays:
+    def test_grow_preserves_rows(self):
+        arrays = kernels.NodeArrays(2)
+
+        class FakeNode:
+            merging_segment = Trr(1.0, 2.0, 3.0, 3.0)
+            subtree_cap = 4.0
+            sink_delay = 5.0
+            enable_probability = 0.25
+            enable_transition_probability = 0.125
+
+        arrays.set_row(1, FakeNode())
+        arrays.set_row(9, FakeNode())  # forces a grow
+        for nid in (1, 9):
+            assert (
+                arrays.ulo[nid],
+                arrays.uhi[nid],
+                arrays.vlo[nid],
+                arrays.vhi[nid],
+            ) == (1.0, 2.0, 3.0, 3.0)
+            assert arrays.cap[nid] == 4.0
+            assert arrays.delay[nid] == 5.0
+            assert arrays.enable_p[nid] == 0.25
+            assert arrays.enable_ptr[nid] == 0.125
+
+    def test_active_ids_add_discard(self):
+        ids = kernels.ActiveIds(range(5), capacity=5)
+        assert sorted(ids.view().tolist()) == [0, 1, 2, 3, 4]
+        ids.discard(2)
+        ids.discard(2)  # idempotent
+        ids.add(7)  # forces a grow past capacity
+        assert len(ids) == 5
+        assert sorted(ids.view().tolist()) == [0, 1, 3, 4, 7]
+        assert sorted(ids.others(4).tolist()) == [0, 1, 3, 7]
+
+    def test_rank_by_cost_breaks_ties_by_id(self):
+        ids = np.array([9, 3, 5], dtype=np.int64)
+        costs = np.array([1.0, 1.0, 0.5])
+        order = kernels.rank_by_cost(ids, costs)
+        assert ids[order].tolist() == [5, 3, 9]
+
+
+# ----------------------------------------------------------------------
+# full-merger trace determinism, vectorize on vs off
+# ----------------------------------------------------------------------
+
+
+def total_split_length_cost(plan, merger):
+    """Test-only split-dependent cost: the committed wirelength."""
+    return plan.split.total_length
+
+
+def _tsl_batch_cost(merger, nid, others, distance, split=None):
+    return split.length_a + split.length_b
+
+
+total_split_length_cost.batch_cost = _tsl_batch_cost
+total_split_length_cost.batch_cost_needs_split = True
+
+
+def make_sinks(n, seed=0, span=200.0, cap_spread=1.0):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, span, n)
+    ys = rng.uniform(0, span, n)
+    loads = rng.uniform(1.0, 1.0 + cap_spread, n)
+    return [
+        Sink(
+            name="s%d" % i,
+            location=Point(x, y),
+            load_cap=load,
+            module=i % NUM_MODULES,
+        )
+        for i, (x, y, load) in enumerate(zip(xs, ys, loads))
+    ]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    isa = paper_example_isa()
+    stream = InstructionStream(ids=np.array(paper_example_stream()))
+    return ActivityOracle(ActivityTables.from_stream(isa, stream))
+
+
+def run_config(sinks, vectorize, **kwargs):
+    merger = BottomUpMerger(
+        sinks, unit_technology(), vectorize=vectorize, **kwargs
+    )
+    tree = merger.run()
+    return merger, merger.merge_trace, tree.total_wirelength()
+
+
+class TestVectorizeTraceParity:
+    """``vectorize`` never changes a greedy decision, in any mode."""
+
+    @pytest.mark.parametrize("limit", [None, 4])
+    def test_nn_exact_screen(self, limit):
+        sinks = make_sinks(48, seed=31)
+        vec, trace_v, wl_v = run_config(
+            sinks, True, cost=nearest_neighbor_cost, candidate_limit=limit
+        )
+        _, trace_s, wl_s = run_config(
+            sinks, False, cost=nearest_neighbor_cost, candidate_limit=limit
+        )
+        assert vec._exact_screen
+        assert trace_v == trace_s
+        assert wl_v == wl_s
+
+    def test_nn_buffered_policy(self):
+        sinks = make_sinks(40, seed=32)
+        vec, trace_v, wl_v = run_config(
+            sinks, True, cost=nearest_neighbor_cost,
+            cell_policy=BufferEveryEdgePolicy(),
+        )
+        _, trace_s, wl_s = run_config(
+            sinks, False, cost=nearest_neighbor_cost,
+            cell_policy=BufferEveryEdgePolicy(),
+        )
+        assert vec._exact_screen  # cost needs no split, cells are fine
+        assert trace_v == trace_s and wl_v == wl_s
+
+    @pytest.mark.parametrize("limit", [None, 6])
+    def test_eq3_bound_screen(self, oracle, limit):
+        sinks = make_sinks(36, seed=33)
+        common = dict(
+            cost=switched_capacitance_cost,
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+            controller_point=Point(0.0, 0.0),
+            candidate_limit=limit,
+        )
+        vec, trace_v, wl_v = run_config(sinks, True, **common)
+        _, trace_s, wl_s = run_config(sinks, False, **common)
+        assert vec._bound_screen and not vec._exact_screen
+        assert vec.stats.kernel_batches > 0
+        assert trace_v == trace_s and wl_v == wl_s
+
+    def test_incremental_cost_has_no_hooks(self, oracle):
+        sinks = make_sinks(30, seed=34)
+        common = dict(
+            cost=incremental_switched_capacitance_cost,
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+            controller_point=Point(0.0, 0.0),
+        )
+        vec, trace_v, wl_v = run_config(sinks, True, **common)
+        _, trace_s, wl_s = run_config(sinks, False, **common)
+        assert not vec._exact_screen and not vec._bound_screen
+        assert vec.stats.kernel_batches == 0  # fully inert, still identical
+        assert trace_v == trace_s and wl_v == wl_s
+
+    def test_eq3_batch_bound_declines_for_data_dependent_policy(self, oracle):
+        from repro.core.gate_reduction import GateReductionPolicy
+
+        sinks = make_sinks(30, seed=35)
+        policy = GateReductionPolicy.from_knob(0.5, unit_technology())
+        common = dict(
+            cost=switched_capacitance_cost,
+            cell_policy=policy,
+            oracle=oracle,
+            controller_point=Point(0.0, 0.0),
+        )
+        vec, trace_v, wl_v = run_config(sinks, True, **common)
+        _, trace_s, wl_s = run_config(sinks, False, **common)
+        # The hook declines per-call (merged-probability dependence),
+        # so the scalar bound scan runs and traces still match.
+        assert vec._bound_screen
+        assert trace_v == trace_s and wl_v == wl_s
+
+    def test_skew_bound_disables_exact_screen(self):
+        sinks = make_sinks(32, seed=36)
+        vec, trace_v, wl_v = run_config(
+            sinks, True, cost=nearest_neighbor_cost, skew_bound=50.0
+        )
+        _, trace_s, wl_s = run_config(
+            sinks, False, cost=nearest_neighbor_cost, skew_bound=50.0
+        )
+        assert not vec._exact_screen  # bounded splits are not modelled
+        assert trace_v == trace_s and wl_v == wl_s
+
+    @pytest.mark.parametrize("limit", [None, 5])
+    def test_split_dependent_cost_with_snakes(self, limit):
+        # Wildly uneven sink loads force snaked splits: the screen must
+        # hand those lanes back to the scalar plan() and still match.
+        sinks = make_sinks(36, seed=37, cap_spread=400.0)
+        vec, trace_v, wl_v = run_config(
+            sinks, True, cost=total_split_length_cost, candidate_limit=limit
+        )
+        _, trace_s, wl_s = run_config(
+            sinks, False, cost=total_split_length_cost, candidate_limit=limit
+        )
+        assert vec._exact_screen and vec._batch_cost_needs_split
+        assert vec.stats.kernel_scalar_fallbacks > 0
+        assert trace_v == trace_s
+        assert wl_v == wl_s
+
+    def test_embedded_locations_identical(self):
+        sinks = make_sinks(24, seed=38)
+        m_v, _, _ = run_config(sinks, True, cost=nearest_neighbor_cost)
+        m_s, _, _ = run_config(sinks, False, cost=nearest_neighbor_cost)
+        for nid in range(len(m_v.tree)):
+            lv = m_v.tree.node(nid).location
+            ls = m_s.tree.node(nid).location
+            assert (lv.x, lv.y) == (ls.x, ls.y)
+
+
+class TestKernelAccounting:
+    def test_kernel_counters_advance(self):
+        merger, _, _ = run_config(
+            make_sinks(32, seed=40), True, cost=nearest_neighbor_cost
+        )
+        s = merger.stats
+        assert s.kernel_batches > 0
+        assert s.kernel_candidates >= s.kernel_batches
+        assert s.distance_reuses > 0
+        snap = s.snapshot()
+        for key in (
+            "kernel_batches",
+            "kernel_candidates",
+            "kernel_scalar_fallbacks",
+            "distance_reuses",
+        ):
+            assert snap[key] == getattr(s, key)
+
+    def test_scalar_mode_never_batches(self):
+        merger, _, _ = run_config(
+            make_sinks(32, seed=40), False, cost=nearest_neighbor_cost
+        )
+        assert merger.stats.kernel_batches == 0
+        assert merger.stats.kernel_candidates == 0
+        assert merger.node_arrays is None
+
+    def test_distance_reuse_in_scalar_pruned_scan(self, oracle):
+        # The threaded-distance satellite also pays off with vectorize
+        # off: the ranked-candidate distances reach plan() unchanged.
+        merger, _, _ = run_config(
+            make_sinks(32, seed=41),
+            False,
+            cost=switched_capacitance_cost,
+            cell_policy=GateEveryEdgePolicy(),
+            oracle=oracle,
+            controller_point=Point(0.0, 0.0),
+        )
+        assert merger.stats.distance_reuses > 0
+
+    def test_kernel_counters_published(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            run_config(make_sinks(24, seed=42), True, cost=nearest_neighbor_cost)
+        finally:
+            set_registry(previous)
+        assert registry.counter("dme.kernel_batches").value > 0
+        assert registry.counter("dme.kernel_candidates").value > 0
+        assert registry.counter("dme.distance_reuses").value > 0
+
+    def test_index_tightening_counters_published(self, oracle):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            run_config(
+                make_sinks(64, seed=43),
+                True,
+                cost=switched_capacitance_cost,
+                cell_policy=GateEveryEdgePolicy(),
+                oracle=oracle,
+                controller_point=Point(0.0, 0.0),
+                candidate_limit=6,
+            )
+        finally:
+            set_registry(previous)
+        # Merging halves the population several times, so the index
+        # must have re-tightened its radius bound at least once.
+        assert registry.counter("dme.index.radius_recomputes").value > 0
+        assert "dme.index.tightened_queries" in registry
+
+    def test_vectorize_degrades_silently_without_numpy(self):
+        import repro.cts.dme as dme
+
+        saved = dme._kernels
+        dme._kernels = None  # simulate NumPy being unavailable
+        try:
+            merger, trace, wl = run_config(
+                make_sinks(16, seed=44), True, cost=nearest_neighbor_cost
+            )
+        finally:
+            dme._kernels = saved
+        assert not merger._vectorize
+        assert merger.node_arrays is None
+        _, trace_s, wl_s = run_config(
+            make_sinks(16, seed=44), False, cost=nearest_neighbor_cost
+        )
+        assert trace == trace_s and wl == wl_s
