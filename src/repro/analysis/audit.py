@@ -6,6 +6,11 @@ The routers maintain capacitance and delay bookkeeping incrementally;
 any disagreement.  The integration tests run it after every build, so
 a bookkeeping regression cannot hide behind a matching incremental
 value.
+
+This module is now a thin compatibility wrapper over the full-network
+auditor in :mod:`repro.check.auditor`, which adds TRR/embedding and
+controller-star invariants and structured findings; ``audit_tree``
+keeps the original per-tree report shape.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.check.auditor import audit_network
 from repro.cts.topology import ClockTree
 
 
@@ -49,70 +55,17 @@ def audit_tree(
     recomputed skew may not exceed it beyond tolerance, and the
     router's delay interval must bracket the recomputed arrivals.
     """
-    problems: List[str] = []
-    evaluator = tree.elmore_evaluator()
-    delays = evaluator.sink_delays()
-    phase = max(s.delay for s in delays)
-    earliest = min(s.delay for s in delays)
-    skew = phase - earliest
-    if phase > 0 and skew > skew_bound + skew_tolerance * phase:
-        problems.append(
-            "skew %.3e exceeds the bound %.3e (+%.1e of the phase delay %.3e)"
-            % (skew, skew_bound, skew_tolerance, phase)
-        )
-    root = tree.root
-    if earliest < root.sink_delay_min - skew_tolerance * max(phase, 1.0):
-        problems.append(
-            "root interval low edge %.6g above earliest recomputed arrival %.6g"
-            % (root.sink_delay_min, earliest)
-        )
-
-    max_cap_error = 0.0
-    for node in tree.nodes():
-        recomputed = evaluator.subtree_cap(node.id)
-        error = abs(recomputed - node.subtree_cap)
-        max_cap_error = max(max_cap_error, error)
-        if error > cap_tolerance * max(recomputed, 1.0):
-            problems.append(
-                "node %d subtree cap drift: router %.6g vs recomputed %.6g"
-                % (node.id, node.subtree_cap, recomputed)
-            )
-
-    root = tree.root
-    max_delay_error = abs(root.sink_delay - phase)
-    if phase > 0 and max_delay_error > skew_tolerance * phase:
-        problems.append(
-            "root delay drift: router %.6g vs recomputed %.6g"
-            % (root.sink_delay, phase)
-        )
-
-    try:
-        tree.validate_embedding()
-    except ValueError as exc:
-        problems.append("embedding invalid: %s" % exc)
-
-    # Enable hierarchy (paper section 1): a node's module set is the
-    # union of its children's, so every enable is the OR of its
-    # descendants' and can only be *more* active than any of them.
-    for node in tree.internal_nodes():
-        child_union = 0
-        for child_id in node.children:
-            child = tree.node(child_id)
-            child_union |= child.module_mask
-            if node.enable_probability < child.enable_probability - 1e-9:
-                problems.append(
-                    "node %d enable probability below child %d's"
-                    % (node.id, child_id)
-                )
-        if node.module_mask != child_union:
-            problems.append(
-                "node %d module mask is not the union of its children's" % node.id
-            )
-
+    report = audit_network(
+        tree,
+        routing=None,
+        skew_tolerance=skew_tolerance,
+        cap_tolerance=cap_tolerance,
+        skew_bound=skew_bound,
+    )
     return AuditReport(
-        skew=skew,
-        phase_delay=phase,
-        max_cap_error=max_cap_error,
-        max_delay_error=max_delay_error,
-        problems=problems,
+        skew=report.skew,
+        phase_delay=report.phase_delay,
+        max_cap_error=report.max_cap_error,
+        max_delay_error=report.max_delay_error,
+        problems=report.problems,
     )

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.check.errors import InputError
 from repro.cts.topology import Sink
 from repro.core.controller import Die
 from repro.geometry.point import Point
@@ -123,7 +124,7 @@ def generate_sinks(
     if name not in R_BENCHMARK_SIZES:
         raise KeyError("unknown benchmark %r (expected r1..r5)" % name)
     if not 0.0 < scale <= 1.0:
-        raise ValueError("scale must lie in (0, 1]")
+        raise InputError("scale must lie in (0, 1]", field="scale")
     count = max(2, int(round(R_BENCHMARK_SIZES[name] * scale)))
     if seed is None:
         seed = 1000 + int(name[1:])

@@ -16,6 +16,11 @@ Subcommands
 ``study``
     Run a committed campaign spec (benchmarks x configurations) and
     print/serialize the whole comparison.
+``audit``
+    Re-verify every network invariant (skew, caps, enables, embedding,
+    controller star) of a routed tree -- either a JSON dump from
+    ``route --out`` or a freshly routed benchmark.  Exit code 1 when
+    findings are reported.
 
 Examples::
 
@@ -24,6 +29,12 @@ Examples::
     gated-cts compare --benchmark r2 --scale 0.4
     gated-cts sweep --benchmark r1 --scale 0.4 --points 6
     gated-cts study --spec studies/paper_fig3.json --out results.json
+    gated-cts audit --tree out.json
+    gated-cts audit --benchmark r1 --scale 0.2
+
+Exit codes: 0 success, 1 audit findings, 2 invalid input (typed
+``ReproError`` or ``OSError`` -- printed as one-line diagnostics, with
+the full traceback available under ``--log-level debug``).
 
 Observability (all subcommands)
 -------------------------------
@@ -50,6 +61,7 @@ from repro.analysis.report import (
     format_table,
 )
 from repro.bench.suite import benchmark_names, load_benchmark
+from repro.check.errors import ReproError
 from repro.core.controller import ControllerLayout
 from repro.core.flow import route_buffered, route_gated
 from repro.core.gate_reduction import GateReductionPolicy
@@ -131,6 +143,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="disable the NumPy kernel screens of the greedy merger "
         "(decision-neutral; results are byte-identical either way)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="re-verify every network invariant after routing "
+        "(skew, caps, enables, embedding, controller star); a typed "
+        "error is raised on the first violation",
+    )
     parser.add_argument("--seed", type=int, default=None, help="benchmark seed")
 
 
@@ -144,10 +163,15 @@ def _load_external(args: argparse.Namespace):
     from repro.io.sinkfile import read_sinks
     from repro.io.tracefile import load_workload
 
+    from repro.check.validate import validate_sinks
+
     if not (args.isa and args.instr_trace):
         raise SystemExit("--sinks requires --isa and --instr-trace")
     sinks = tuple(read_sinks(args.sinks))
     oracle = load_workload(args.isa, args.instr_trace)
+    # Cross-file check: every sink's module id must exist in the ISA's
+    # module universe, or the activity lookup would silently misbehave.
+    validate_sinks(sinks, num_modules=oracle.isa.num_modules, source=args.sinks)
     die = Die.bounding([s.location for s in sinks])
 
     class _ExternalCase:
@@ -180,6 +204,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
             candidate_limit=_limit(args),
             skew_bound=args.skew_bound,
             vectorize=not args.no_vectorize,
+            audit=args.audit,
         )
     else:
         reduction = (
@@ -198,7 +223,10 @@ def _cmd_route(args: argparse.Namespace) -> int:
             gate_sizing=GateSizingPolicy() if args.gate_sizing else None,
             skew_bound=args.skew_bound,
             vectorize=not args.no_vectorize,
+            audit=args.audit,
         )
+    if args.audit:
+        print("audit: clean")
     print(result.summary())
     if args.out:
         save_tree(result.tree, args.out)
@@ -298,6 +326,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Audit a routed tree: from a JSON dump or routed fresh.
+
+    Exit code 0 when every invariant holds, 1 when the audit ran and
+    reported findings, 2 (via ``main``) when the inputs themselves are
+    invalid.
+    """
+    from repro.check.auditor import audit_network
+    from repro.check.validate import validate_technology
+
+    if args.tree:
+        from repro.io.treejson import load_tree
+
+        tree = load_tree(args.tree)
+        validate_technology(tree.tech, strict=True)
+        routing = None
+        what = args.tree
+    else:
+        tech = date98_technology()
+        case = load_benchmark(
+            args.benchmark,
+            scale=args.scale,
+            target_activity=args.activity,
+            seed=args.seed,
+        )
+        result = route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            candidate_limit=_limit(args),
+            skew_bound=args.skew_bound,
+            vectorize=not args.no_vectorize,
+        )
+        tree = result.tree
+        routing = result.routing
+        what = "benchmark %s" % args.benchmark
+    report = audit_network(tree, routing=routing, skew_bound=args.skew_bound)
+    print("auditing %s" % what)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.study import StudySpec, run_study
 
@@ -367,6 +438,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--points", type=int, default=5, help="sweep points")
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    p_audit = sub.add_parser(
+        "audit",
+        help="re-verify every invariant of a routed tree (JSON dump or "
+        "freshly routed benchmark)",
+    )
+    _add_common(p_audit)
+    _add_obs(p_audit)
+    p_audit.add_argument(
+        "--tree",
+        default=None,
+        metavar="TREE.json",
+        help="audit this tree dump (from 'route --out') instead of "
+        "routing a benchmark",
+    )
+    p_audit.set_defaults(func=_cmd_audit)
+
     p_study = sub.add_parser("study", help="run a spec-driven campaign")
     _add_obs(p_study)
     p_study.add_argument("--spec", default=None, help="study spec JSON")
@@ -382,6 +469,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.
+
+    Exit codes: 0 success, 1 audit findings (``audit`` subcommand),
+    2 invalid input -- every typed :class:`ReproError` (and ``OSError``
+    on file arguments) is rendered as a one-line diagnostic on stderr.
+    ``--log-level debug`` re-raises so the full traceback is visible.
+    """
     args = build_parser().parse_args(argv)
     if args.log_level is not None:
         configure_logging(args.log_level)
@@ -389,6 +483,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = enable_tracing() if tracing else None
     try:
         code = args.func(args)
+    except (ReproError, OSError) as exc:
+        if args.log_level == "debug":
+            raise
+        kind = type(exc).__name__
+        message = exc.diagnostic() if isinstance(exc, ReproError) else str(exc)
+        print("gated-cts: %s: %s" % (kind, message), file=sys.stderr)
+        return 2
     finally:
         if tracer is not None:
             disable_tracing()

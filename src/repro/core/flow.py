@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.activity.probability import ActivityOracle
+from repro.check.errors import InputError
+from repro.check.validate import validate_sinks, validate_technology
 from repro.core.controller import ControllerLayout, Die, EnableRouting, route_enables
 from repro.core.gated_routing import build_gated_tree
 from repro.core.gate_reduction import (
@@ -130,6 +132,28 @@ def _die_for(sinks: Sequence[Sink], die: Optional[Die]) -> Die:
     return die if die is not None else Die.bounding([s.location for s in sinks])
 
 
+def _validate_inputs(sinks, tech, num_modules=None) -> None:
+    """Strict entry gate: reject bad sinks/tech before any routing."""
+    validate_sinks(sinks, num_modules=num_modules)
+    validate_technology(tech, strict=True)
+
+
+def _maybe_audit(result: ClockRoutingResult, audit: bool, skew_bound: float):
+    """Opt-in post-flow hook: re-verify every network invariant.
+
+    Raises a typed :class:`~repro.check.errors.AuditError` naming the
+    first offending node when the routed network fails verification.
+    """
+    if not audit:
+        return result
+    from repro.check.auditor import audit_network
+
+    with get_tracer().span("flow.audit", method=result.method):
+        report = audit_network(result.tree, routing=result.routing, skew_bound=skew_bound)
+        report.raise_if_failed()
+    return result
+
+
 def route_buffered(
     sinks: Sequence[Sink],
     tech: Technology,
@@ -137,8 +161,15 @@ def route_buffered(
     candidate_limit: Optional[int] = None,
     skew_bound: float = 0.0,
     vectorize: bool = True,
+    audit: bool = False,
 ) -> ClockRoutingResult:
-    """The paper's baseline: buffered nearest-neighbour zero-skew tree."""
+    """The paper's baseline: buffered nearest-neighbour zero-skew tree.
+
+    ``audit=True`` re-verifies every network invariant after routing
+    (see :func:`repro.check.auditor.audit_network`) and raises a typed
+    error on the first violation.
+    """
+    _validate_inputs(sinks, tech)
     tracer = get_tracer()
     with tracer.span("flow.route_buffered", n=len(sinks)):
         with tracer.span("topology.buffered", n=len(sinks)):
@@ -149,7 +180,8 @@ def route_buffered(
                 skew_bound=skew_bound,
                 vectorize=vectorize,
             )
-        return _measure("buffered", tree, tech, routing=None)
+        result = _measure("buffered", tree, tech, routing=None)
+        return _maybe_audit(result, audit, skew_bound)
 
 
 def route_gated(
@@ -165,6 +197,7 @@ def route_gated(
     gate_sizing=None,
     skew_bound: float = 0.0,
     vectorize: bool = True,
+    audit: bool = False,
 ) -> ClockRoutingResult:
     """The paper's gated router, with or without gate reduction.
 
@@ -179,7 +212,11 @@ def route_gated(
     when both are given.
     """
     if reduction_mode not in ("demote", "remove", "merge"):
-        raise ValueError("reduction_mode must be 'demote', 'remove' or 'merge'")
+        raise InputError(
+            "reduction_mode must be 'demote', 'remove' or 'merge'",
+            field="reduction_mode",
+        )
+    _validate_inputs(sinks, tech, num_modules=oracle.isa.num_modules)
     die = _die_for(sinks, die)
     layout = (
         ControllerLayout.centralized(die)
@@ -217,7 +254,7 @@ def route_gated(
         method = "gated" if reduction is None and cell_policy is None else "gate-red"
         result = _measure(method, tree, tech, routing=routing)
         publish_oracle_cache(oracle)
-        return result
+        return _maybe_audit(result, audit, skew_bound)
 
 
 def gated_vs_ungated_floor(result: ClockRoutingResult, tech: Technology) -> float:

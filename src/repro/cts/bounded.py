@@ -26,13 +26,14 @@ passing a subtree that already violates the budget.
 
 from __future__ import annotations
 
+from repro.check.errors import GeometryError
 from repro.cts.merge import SplitResult, Tap, zero_skew_split
 from repro.tech.parameters import Technology
 
 _EPS = 1e-12
 
 
-class SkewBoundError(ValueError):
+class SkewBoundError(GeometryError):
     """A subtree wider than the skew budget was passed to a merge."""
 
 

@@ -68,6 +68,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.activity.probability import ActivityOracle
+from repro.check.errors import InputError
 from repro.cts.candidate_index import SegmentGridIndex
 from repro.obs import get_tracer, publish_index_stats, publish_merger_stats
 from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
@@ -91,7 +92,7 @@ class CellDecision:
 
     def __post_init__(self):
         if self.maskable and self.cell is None:
-            raise ValueError("a maskable edge needs a gate cell")
+            raise InputError("a maskable edge needs a gate cell", field="cell")
 
 
 class CellPolicy:
@@ -336,11 +337,15 @@ class BottomUpMerger:
         vectorize: bool = True,
     ):
         if not sinks:
-            raise ValueError("at least one sink is required")
+            raise InputError("at least one sink is required")
         if candidate_limit is not None and candidate_limit < 1:
-            raise ValueError("candidate_limit must be positive")
-        if skew_bound < 0:
-            raise ValueError("skew_bound must be non-negative")
+            raise InputError(
+                "candidate_limit must be positive", field="candidate_limit"
+            )
+        if not math.isfinite(skew_bound) or skew_bound < 0:
+            raise InputError(
+                "skew_bound must be non-negative", field="skew_bound"
+            )
         self.tech = tech
         self.cost = cost
         self.cell_policy = cell_policy or NoCellPolicy()

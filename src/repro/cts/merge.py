@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.check.errors import GeometryError, SkewBalanceError
 from repro.geometry.trr import Trr
 from repro.tech.parameters import GateModel, Technology
 
@@ -41,13 +42,15 @@ _EPS = 1e-12
 DEGENERATE_DEN_EPS = _EPS
 DEGENERATE_SKEW_EPS = 1e-12
 
-
-class SkewBalanceError(ValueError):
-    """Raised when no wire assignment can balance the two subtrees.
-
-    Happens only in degenerate technologies (both wire RC products and
-    cell drive terms zero), never for physical parameter sets.
-    """
+__all__ = [
+    "DEGENERATE_DEN_EPS",
+    "DEGENERATE_SKEW_EPS",
+    "SkewBalanceError",
+    "SplitResult",
+    "Tap",
+    "merge_regions",
+    "zero_skew_split",
+]
 
 
 @dataclass(frozen=True)
@@ -152,9 +155,20 @@ def _snake_length(fast: Tap, target_delay: float, tech: Technology) -> float:
 
 
 def zero_skew_split(length: float, tap_a: Tap, tap_b: Tap, tech: Technology) -> SplitResult:
-    """Split merging distance ``length`` so both sides see equal delay."""
+    """Split merging distance ``length`` so both sides see equal delay.
+
+    ``length == 0`` (co-located subtree roots, e.g. two sinks at the
+    same coordinates) is legal and yields the exact zero-length split:
+    both edges stay 0 when the subtrees already balance, otherwise the
+    fast side snakes.  The vectorized kernel lane agrees bit-for-bit
+    (see ``tests/test_edge_cases.py``).
+    """
+    if not math.isfinite(length):
+        raise GeometryError(
+            "merging distance is %r; must be finite" % length, field="length"
+        )
     if length < 0:
-        raise ValueError("merging distance must be non-negative")
+        raise GeometryError("merging distance must be non-negative", field="length")
     r = tech.unit_wire_resistance
     c = tech.unit_wire_capacitance
     den = (
@@ -228,7 +242,7 @@ def merge_regions(ms_a: Trr, ms_b: Trr, split: SplitResult) -> Trr:
         tol = 1e-9 * (1.0 + split.total_length + ms_a.distance_to(ms_b))
         region = core_a.intersection(core_b, tol=tol)
     if region is None:
-        raise ValueError(
+        raise GeometryError(
             "cores do not intersect; split does not cover the distance: "
             "segment a=[u %g..%g, v %g..%g] expanded by e_a=%g and "
             "segment b=[u %g..%g, v %g..%g] expanded by e_b=%g "

@@ -10,9 +10,11 @@ child node.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.check.errors import EmbeddingAuditError, InputError
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
 from repro.rc.elmore import EdgeElectrical, ElmoreEvaluator
@@ -30,10 +32,25 @@ class Sink:
     """Index of the module this sink clocks, for activity lookup."""
 
     def __post_init__(self):
-        if self.load_cap < 0:
-            raise ValueError("load capacitance must be non-negative")
+        for field, value in (("x", self.location.x), ("y", self.location.y)):
+            if not math.isfinite(value):
+                raise InputError(
+                    "sink %r: coordinate %s is %r; coordinates must be finite"
+                    % (self.name, field, value),
+                    field=field,
+                )
+        if not math.isfinite(self.load_cap) or self.load_cap < 0:
+            raise InputError(
+                "sink %r: load capacitance must be finite and non-negative, got %r"
+                % (self.name, self.load_cap),
+                field="load_cap",
+            )
         if self.module < 0:
-            raise ValueError("module index must be non-negative")
+            raise InputError(
+                "sink %r: module index must be non-negative, got %r"
+                % (self.name, self.module),
+                field="module",
+            )
 
 
 @dataclass
@@ -237,22 +254,37 @@ class ClockTree:
         return self.elmore_evaluator().max_delay()
 
     def validate_embedding(self, tol: float = 1e-6) -> None:
-        """Check placement consistency; raises ``ValueError`` on failure.
+        """Check placement consistency.
 
-        * every node is placed and lies on its merging segment,
-        * every edge's electrical length covers the Manhattan distance
-          between its endpoint placements (snaking only adds length).
+        Raises :class:`~repro.check.errors.EmbeddingAuditError` (a
+        ``ValueError`` for backward compatibility) naming the offending
+        node when
+
+        * a node is unplaced or lies off its merging segment, or
+        * an edge's electrical length fails to cover the Manhattan
+          distance between its endpoint placements (snaking only adds
+          length).
+
+        :func:`repro.check.auditor.audit_network` performs the same
+        checks (plus parent-region containment) non-fatally, collecting
+        findings instead of raising on the first.
         """
         for node in self.preorder():
             if node.location is None:
-                raise ValueError("node %d is not placed" % node.id)
+                raise EmbeddingAuditError(
+                    "node %d is not placed" % node.id, node=node.id
+                )
             if not node.merging_segment.contains_point(node.location, tol=tol):
-                raise ValueError("node %d placed off its merging segment" % node.id)
+                raise EmbeddingAuditError(
+                    "node %d placed off its merging segment" % node.id,
+                    node=node.id,
+                )
             if node.id != self.root_id:
                 parent = self._nodes[node.parent]
                 dist = node.location.manhattan_to(parent.location)
                 if node.edge_length < dist - tol:
-                    raise ValueError(
+                    raise EmbeddingAuditError(
                         "edge above node %d shorter than its endpoints' distance"
-                        % node.id
+                        % node.id,
+                        node=node.id,
                     )

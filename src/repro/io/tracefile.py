@@ -25,6 +25,7 @@ from repro.activity.isa import InstructionSet
 from repro.activity.probability import ActivityOracle
 from repro.activity.stream import InstructionStream
 from repro.activity.tables import ActivityTables
+from repro.check.errors import InputError
 
 PathLike = Union[str, Path]
 
@@ -48,20 +49,50 @@ def write_isa(isa: InstructionSet, target: Union[PathLike, TextIO]) -> None:
 
 
 def read_isa(source: Union[PathLike, TextIO]) -> InstructionSet:
-    """Read an ISA description written by :func:`write_isa`."""
+    """Read an ISA description written by :func:`write_isa`.
+
+    Malformed files (invalid JSON, wrong version, missing keys, empty
+    or out-of-universe instructions) raise a located
+    :class:`~repro.check.errors.InputError`.
+    """
     if isinstance(source, (str, Path)):
+        name = str(source)
         with open(source, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    else:
-        data = json.load(source)
+            return _parse_isa(handle, name)
+    return _parse_isa(source, getattr(source, "name", None))
+
+
+def _parse_isa(handle: TextIO, source) -> InstructionSet:
+    try:
+        data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise InputError(
+            "invalid ISA JSON: %s" % exc, source=source, line=exc.lineno
+        ) from exc
+    if not isinstance(data, dict):
+        raise InputError("ISA file must hold a JSON object", source=source)
     if data.get("format_version") != ISA_FORMAT_VERSION:
-        raise ValueError("unsupported ISA format version %r" % data.get("format_version"))
-    instructions = data["instructions"]
-    return InstructionSet.from_usage_lists(
-        usage=[set(mods) for mods in instructions.values()],
-        num_modules=int(data["num_modules"]),
-        names=list(instructions),
-    )
+        raise InputError(
+            "unsupported ISA format version %r" % data.get("format_version"),
+            source=source,
+            field="format_version",
+        )
+    try:
+        instructions = data["instructions"]
+        num_modules = int(data["num_modules"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InputError(
+            "ISA file is missing or corrupts a required key: %s" % exc,
+            source=source,
+        ) from exc
+    try:
+        return InstructionSet.from_usage_lists(
+            usage=[set(mods) for mods in instructions.values()],
+            num_modules=num_modules,
+            names=list(instructions),
+        )
+    except (TypeError, ValueError) as exc:
+        raise InputError("invalid ISA: %s" % exc, source=source) from exc
 
 
 def write_trace(
@@ -83,17 +114,22 @@ def read_trace(isa: InstructionSet, source: Union[PathLike, TextIO]) -> Instruct
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
             return read_trace(isa, handle)
-    index = {name: k for k, name in enumerate(isa.names)}
+    name = getattr(source, "name", None)
+    index = {instr_name: k for k, instr_name in enumerate(isa.names)}
     ids: List[int] = []
     for lineno, raw in enumerate(source, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         if line not in index:
-            raise ValueError("line %d: unknown instruction %r" % (lineno, line))
+            raise InputError(
+                "line %d: unknown instruction %r" % (lineno, line),
+                source=name,
+                line=lineno,
+            )
         ids.append(index[line])
     if not ids:
-        raise ValueError("trace contains no instructions")
+        raise InputError("trace contains no instructions", source=name)
     return InstructionStream(ids=np.array(ids, dtype=np.int64))
 
 

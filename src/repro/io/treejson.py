@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.check.errors import InputError
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
@@ -88,9 +89,27 @@ def tree_to_dict(tree: ClockTree) -> Dict[str, Any]:
 
 
 def tree_from_dict(data: Dict[str, Any]) -> ClockTree:
-    """Rebuild a tree from :func:`tree_to_dict` output."""
+    """Rebuild a tree from :func:`tree_to_dict` output.
+
+    Structural problems (wrong version, missing keys, sparse node ids)
+    raise :class:`~repro.check.errors.InputError`.
+    """
+    if not isinstance(data, dict):
+        raise InputError("tree file must hold a JSON object")
     if data.get("format_version") != FORMAT_VERSION:
-        raise ValueError("unsupported tree format version %r" % data.get("format_version"))
+        raise InputError(
+            "unsupported tree format version %r" % data.get("format_version"),
+            field="format_version",
+        )
+    try:
+        return _tree_from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise InputError(
+            "tree file is missing or corrupts a required key: %r" % exc
+        ) from exc
+
+
+def _tree_from_dict(data: Dict[str, Any]) -> ClockTree:
     tdata = data["technology"]
     tech = Technology(
         unit_wire_resistance=tdata["unit_wire_resistance"],
@@ -104,7 +123,7 @@ def tree_from_dict(data: Dict[str, Any]) -> ClockTree:
     nodes = sorted(data["nodes"], key=lambda n: n["id"])
     for record in nodes:
         if record["id"] != len(tree):
-            raise ValueError("node ids must be dense and ordered")
+            raise InputError("node ids must be dense and ordered", node=record["id"])
         if record["sink"] is not None:
             sdata = record["sink"]
             node = tree.add_leaf(
@@ -146,4 +165,21 @@ def save_tree(tree: ClockTree, path: Union[str, Path]) -> None:
 def load_tree(path: Union[str, Path]) -> ClockTree:
     """Read a tree from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
-        return tree_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise InputError(
+                "invalid tree JSON: %s" % exc, source=str(path), line=exc.lineno
+            ) from exc
+    try:
+        return tree_from_dict(data)
+    except InputError as exc:
+        if exc.source is not None:
+            raise
+        raise InputError(
+            exc.message,
+            source=str(path),
+            line=exc.line,
+            field=exc.field,
+            node=exc.node,
+        ) from exc

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.check.errors import TechnologyError
+
 
 @dataclass(frozen=True)
 class GateModel:
@@ -41,6 +43,11 @@ class GateModel:
     area: float
     """Cell area, lambda^2."""
 
+    def __post_init__(self):
+        from repro.check.validate import validate_gate_model
+
+        validate_gate_model(self)
+
     def scaled(self, size: float) -> "GateModel":
         """The same cell scaled by drive ``size``.
 
@@ -49,7 +56,7 @@ class GateModel:
         order.
         """
         if size <= 0:
-            raise ValueError("size must be positive")
+            raise TechnologyError("size must be positive", field="size")
         return GateModel(
             input_cap=self.input_cap * size,
             drive_resistance=self.drive_resistance / size,
@@ -87,6 +94,14 @@ class Technology:
 
     wire_width: float = 1.0
     """Routing wire width, lambda -- converts wirelength to wire area."""
+
+    def __post_init__(self):
+        # Non-strict: zero R/C technologies are legal to *construct*
+        # (unit tests exercise degenerate cases); the flow entry points
+        # re-validate with strict=True.
+        from repro.check.validate import validate_technology
+
+        validate_technology(self, strict=False)
 
     def wire_area(self, length: float) -> float:
         """Layout area of ``length`` units of routed wire, lambda^2."""
