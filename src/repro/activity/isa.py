@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from repro.check.errors import InputError
 
 
 def modules_to_mask(modules: Iterable[int]) -> int:
@@ -18,7 +19,7 @@ def modules_to_mask(modules: Iterable[int]) -> int:
     mask = 0
     for m in modules:
         if m < 0:
-            raise ValueError("module index must be non-negative")
+            raise InputError("module index must be non-negative")
         mask |= 1 << m
     return mask
 
@@ -61,12 +62,12 @@ class InstructionSet:
 
     def __post_init__(self):
         if not self.instructions:
-            raise ValueError("instruction set may not be empty")
+            raise InputError("instruction set may not be empty")
         masks = []
         for instr in self.instructions:
             mask = instr.mask
             if mask >> self.num_modules:
-                raise ValueError(
+                raise InputError(
                     "instruction %r uses module >= num_modules=%d"
                     % (instr.name, self.num_modules)
                 )
@@ -103,10 +104,10 @@ class InstructionSet:
             mean = sum(counts) / len(counts)
         else:
             if len(weights) != len(counts):
-                raise ValueError("weights length mismatch")
+                raise InputError("weights length mismatch")
             total = sum(weights)
             if total <= 0:
-                raise ValueError("weights must have positive sum")
+                raise InputError("weights must have positive sum")
             mean = sum(c * w for c, w in zip(counts, weights)) / total
         return mean / self.num_modules
 

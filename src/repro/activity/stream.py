@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
+from repro.check.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -26,9 +27,9 @@ class InstructionStream:
     def __post_init__(self):
         ids = np.asarray(self.ids, dtype=np.int64)
         if ids.ndim != 1 or ids.size == 0:
-            raise ValueError("stream must be a non-empty 1-D sequence")
+            raise InputError("stream must be a non-empty 1-D sequence")
         if ids.min() < 0:
-            raise ValueError("instruction ids must be non-negative")
+            raise InputError("instruction ids must be non-negative")
         object.__setattr__(self, "ids", ids)
 
     def __len__(self) -> int:
@@ -42,7 +43,7 @@ class InstructionStream:
     def counts(self, num_instructions: int) -> np.ndarray:
         """Occurrences of each instruction id."""
         if self.ids.max() >= num_instructions:
-            raise ValueError("stream references instruction >= K")
+            raise InputError("stream references instruction >= K")
         return np.bincount(self.ids, minlength=num_instructions)
 
     def pair_counts(self, num_instructions: int) -> np.ndarray:
@@ -72,19 +73,19 @@ class MarkovStreamModel:
     def __init__(self, transition: np.ndarray, initial: Optional[np.ndarray] = None):
         t = np.asarray(transition, dtype=float)
         if t.ndim != 2 or t.shape[0] != t.shape[1]:
-            raise ValueError("transition matrix must be square")
+            raise InputError("transition matrix must be square")
         if np.any(t < -1e-12):
-            raise ValueError("transition probabilities must be non-negative")
+            raise InputError("transition probabilities must be non-negative")
         rows = t.sum(axis=1)
         if np.any(np.abs(rows - 1.0) > 1e-6):
-            raise ValueError("transition matrix rows must sum to 1")
+            raise InputError("transition matrix rows must sum to 1")
         self.transition = np.clip(t, 0.0, None)
         self.transition /= self.transition.sum(axis=1, keepdims=True)
         if initial is None:
             initial = self.stationary_distribution()
         initial = np.asarray(initial, dtype=float)
         if initial.shape != (t.shape[0],) or abs(initial.sum() - 1.0) > 1e-6:
-            raise ValueError("initial distribution malformed")
+            raise InputError("initial distribution malformed")
         self.initial = initial / initial.sum()
 
     @property
@@ -105,7 +106,7 @@ class MarkovStreamModel:
         pi = np.clip(pi, 0.0, None)
         total = pi.sum()
         if total <= 0:
-            raise ValueError("chain has no valid stationary distribution")
+            raise InputError("chain has no valid stationary distribution")
         return pi / total
 
     def pair_distribution(self) -> np.ndarray:
@@ -120,7 +121,7 @@ class MarkovStreamModel:
     def generate(self, length: int, rng: np.random.Generator) -> InstructionStream:
         """Sample a stream of the given length."""
         if length < 1:
-            raise ValueError("length must be positive")
+            raise InputError("length must be positive")
         k = self.num_instructions
         ids = np.empty(length, dtype=np.int64)
         ids[0] = rng.choice(k, p=self.initial)
@@ -147,10 +148,10 @@ class MarkovStreamModel:
         other factories but unused (the construction is deterministic).
         """
         if not 0.0 <= locality < 1.0:
-            raise ValueError("locality must be in [0, 1)")
+            raise InputError("locality must be in [0, 1)")
         pi = np.asarray(popularity, dtype=float)
         if np.any(pi < 0) or pi.sum() <= 0:
-            raise ValueError("popularity must be non-negative, non-zero")
+            raise InputError("popularity must be non-negative, non-zero")
         pi = pi / pi.sum()
         k = pi.size
         t = locality * np.eye(k) + (1.0 - locality) * np.tile(pi, (k, 1))

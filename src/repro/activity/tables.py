@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.activity.isa import InstructionSet
 from repro.activity.stream import InstructionStream, MarkovStreamModel
+from repro.check.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -38,13 +39,13 @@ class ActivityTables:
         ift = np.asarray(self.ift, dtype=float)
         pair = np.asarray(self.pair_prob, dtype=float)
         if ift.shape != (k,):
-            raise ValueError("IFT must have one entry per instruction")
+            raise InputError("IFT must have one entry per instruction")
         if pair.shape != (k, k):
-            raise ValueError("IMATT must be K x K")
+            raise InputError("IMATT must be K x K")
         if np.any(ift < -1e-12) or abs(ift.sum() - 1.0) > 1e-6:
-            raise ValueError("IFT must be a probability distribution")
+            raise InputError("IFT must be a probability distribution")
         if np.any(pair < -1e-12) or abs(pair.sum() - 1.0) > 1e-6:
-            raise ValueError("IMATT must be a probability distribution")
+            raise InputError("IMATT must be a probability distribution")
         object.__setattr__(self, "ift", np.clip(ift, 0.0, None))
         object.__setattr__(self, "pair_prob", np.clip(pair, 0.0, None))
 
@@ -79,7 +80,7 @@ class ActivityTables:
         used by the parameter sweeps so results carry no sampling noise.
         """
         if model.num_instructions != len(isa):
-            raise ValueError("model instruction count does not match ISA")
+            raise InputError("model instruction count does not match ISA")
         return ActivityTables(
             isa=isa,
             ift=model.stationary_distribution(),

@@ -9,6 +9,7 @@ plotting dependency.
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
+from repro.check.errors import ContractError
 
 
 def bar_chart(
@@ -20,11 +21,11 @@ def bar_chart(
 ) -> str:
     """Horizontal bar chart, one row per label."""
     if len(labels) != len(values):
-        raise ValueError("labels and values must have equal length")
+        raise ContractError("labels and values must have equal length")
     if not values:
-        raise ValueError("nothing to chart")
+        raise ContractError("nothing to chart")
     if width < 1:
-        raise ValueError("width must be positive")
+        raise ContractError("width must be positive")
     peak = max(values)
     if peak <= 0:
         peak = 1.0
@@ -34,7 +35,7 @@ def bar_chart(
         lines.append(title)
     for label, value in zip(labels, values):
         if value < 0:
-            raise ValueError("bar values must be non-negative")
+            raise ContractError("bar values must be non-negative")
         bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
         lines.append(
             "%s  %s %.4g%s" % (str(label).rjust(label_w), bar.ljust(width), value, unit)
@@ -50,9 +51,9 @@ def line_chart(
 ) -> str:
     """Scatter/line chart of (x, y) points on a character grid."""
     if len(points) < 2:
-        raise ValueError("need at least two points")
+        raise ContractError("need at least two points")
     if width < 2 or height < 2:
-        raise ValueError("grid too small")
+        raise ContractError("grid too small")
     xs = [p[0] for p in points]
     ys = [p[1] for p in points]
     x0, x1 = min(xs), max(xs)

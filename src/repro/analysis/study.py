@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.analysis.report import ComparisonRow, format_comparison
 from repro.analysis.wirelength import wirelength_quality
 from repro.bench.suite import benchmark_names, load_benchmark
+from repro.check.errors import InputError
 from repro.core.flow import ClockRoutingResult, route_buffered, route_gated
 from repro.core.gate_reduction import GateReductionPolicy
 from repro.core.gate_sizing import GateSizingPolicy
@@ -41,9 +42,9 @@ class MethodSpec:
 
     def __post_init__(self):
         if self.kind not in _METHOD_KINDS:
-            raise ValueError("kind must be one of %s" % (_METHOD_KINDS,))
+            raise InputError("kind must be one of %s" % (_METHOD_KINDS,))
         if not 0.0 <= self.knob <= 1.0:
-            raise ValueError("knob must lie in [0, 1]")
+            raise InputError("knob must lie in [0, 1]")
 
     def run(self, case, tech: Technology) -> ClockRoutingResult:
         if self.kind == "buffered":
@@ -98,12 +99,12 @@ class StudySpec:
         known = set(benchmark_names())
         for name in self.benchmarks:
             if name not in known:
-                raise ValueError("unknown benchmark %r" % name)
+                raise InputError("unknown benchmark %r" % name)
         if not self.methods:
-            raise ValueError("a study needs at least one method")
+            raise InputError("a study needs at least one method")
         names = [m.name for m in self.methods]
         if len(set(names)) != len(names):
-            raise ValueError("method names must be unique")
+            raise InputError("method names must be unique")
 
     # ------------------------------------------------------------------
     # (de)serialization

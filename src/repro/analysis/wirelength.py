@@ -14,6 +14,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.check.errors import ContractError
+from repro.check.tolerance import effectively_zero
 from repro.cts.topology import ClockTree, Sink
 from repro.geometry.point import Point
 
@@ -22,7 +24,7 @@ def rectilinear_mst_length(points: Sequence[Point]) -> float:
     """Length of the Manhattan-metric minimum spanning tree (Prim)."""
     n = len(points)
     if n == 0:
-        raise ValueError("need at least one point")
+        raise ContractError("need at least one point")
     if n == 1:
         return 0.0
     xs = np.array([p.x for p in points], dtype=float)
@@ -47,7 +49,7 @@ def rectilinear_mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
     """The MST's edges as point-index pairs (Prim order)."""
     n = len(points)
     if n == 0:
-        raise ValueError("need at least one point")
+        raise ContractError("need at least one point")
     if n == 1:
         return []
     xs = np.array([p.x for p in points], dtype=float)
@@ -73,10 +75,15 @@ def rectilinear_mst_edges(points: Sequence[Point]) -> List[Tuple[int, int]]:
 def wirelength_quality(tree: ClockTree) -> float:
     """``tree wirelength / sink RMST`` -- >= 1 for any connected tree
     whose sinks are leaves (balancing and Steiner points only add
-    wire relative to the spanning lower reference in practice)."""
+    wire relative to the spanning lower reference in practice).
+
+    A degenerate reference (all sinks co-located, so the RMST is zero
+    up to accumulation noise) reports quality 1.0 rather than
+    dividing by a rounding residue.
+    """
     sinks = [n.sink.location for n in tree.sinks()]
     mst = rectilinear_mst_length(sinks)
-    if mst == 0.0:
+    if effectively_zero(mst):
         return 1.0
     return tree.total_wirelength() / mst
 
@@ -85,7 +92,7 @@ def half_perimeter_lower_bound(sinks: Sequence[Sink]) -> float:
     """Half the sink bounding-box perimeter -- a weak universal lower
     bound on any connecting tree's wirelength."""
     if not sinks:
-        raise ValueError("need at least one sink")
+        raise ContractError("need at least one sink")
     xs = [s.location.x for s in sinks]
     ys = [s.location.y for s in sinks]
     return (max(xs) - min(xs)) + (max(ys) - min(ys))

@@ -31,6 +31,7 @@ from repro.activity.isa import InstructionSet
 from repro.activity.probability import ActivityOracle
 from repro.activity.stream import InstructionStream, MarkovStreamModel
 from repro.activity.tables import ActivityTables
+from repro.check.errors import ContractError
 
 
 @dataclass(frozen=True)
@@ -78,17 +79,17 @@ class CpuModelConfig:
 
     def __post_init__(self):
         if self.num_modules < 1 or self.num_instructions < 2:
-            raise ValueError("need >= 1 module and >= 2 instructions")
+            raise ContractError("need >= 1 module and >= 2 instructions")
         if not 0.0 < self.target_activity < 1.0:
-            raise ValueError("target_activity must lie in (0, 1)")
+            raise ContractError("target_activity must lie in (0, 1)")
         if not 0.0 <= self.locality < 1.0:
-            raise ValueError("locality must lie in [0, 1)")
+            raise ContractError("locality must lie in [0, 1)")
         if self.num_clusters < 0 or self.num_clusters > self.num_modules:
-            raise ValueError("num_clusters must lie in [0, num_modules]")
+            raise ContractError("num_clusters must lie in [0, num_modules]")
         if not 0.0 < self.cluster_coherence <= 1.0:
-            raise ValueError("cluster_coherence must lie in (0, 1]")
+            raise ContractError("cluster_coherence must lie in (0, 1]")
         if not 0.0 <= self.background_usage < 1.0:
-            raise ValueError("background_usage must lie in [0, 1)")
+            raise ContractError("background_usage must lie in [0, 1)")
 
     @property
     def resolved_num_clusters(self) -> int:

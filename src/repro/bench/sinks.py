@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.check.errors import InputError
+from repro.check.errors import ContractError
 from repro.cts.topology import Sink
 from repro.core.controller import Die
 from repro.geometry.point import Point
@@ -52,7 +53,7 @@ class SinkGenerator:
 
     def __post_init__(self):
         if self.num_sinks < 1:
-            raise ValueError("need at least one sink")
+            raise ContractError("need at least one sink")
 
     def resolved_die_side(self) -> float:
         if self.die_side is not None:
@@ -84,9 +85,9 @@ class SinkGenerator:
         """
         cluster_of = np.asarray(cluster_of)
         if cluster_of.shape != (self.num_sinks,):
-            raise ValueError("cluster assignment must cover every sink")
+            raise ContractError("cluster assignment must cover every sink")
         if spread <= 0:
-            raise ValueError("spread must be positive")
+            raise ContractError("spread must be positive")
         rng = np.random.default_rng(self.seed)
         side = self.resolved_die_side()
         num_clusters = int(cluster_of.max()) + 1

@@ -20,6 +20,7 @@ from repro.activity.stream import InstructionStream
 from repro.activity.tables import ActivityTables
 from repro.bench.cpu_model import CpuModel, CpuModelConfig
 from repro.bench.sinks import R_BENCHMARK_SIZES, generate_sinks
+from repro.check.errors import InputError
 from repro.core.controller import Die
 from repro.cts.topology import Sink
 
@@ -49,7 +50,7 @@ def bench_scale(default: float = 0.25) -> float:
         return default
     value = float(raw)
     if not 0.0 < value <= 1.0:
-        raise ValueError("REPRO_BENCH_SCALE must lie in (0, 1]")
+        raise InputError("REPRO_BENCH_SCALE must lie in (0, 1]")
     return value
 
 

@@ -10,18 +10,27 @@ and are exposed lazily via module ``__getattr__``.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.check.errors import (
     AuditError,
     CapAuditError,
+    ContractError,
+    ContractTypeError,
     ControllerAuditError,
     EmbeddingAuditError,
     EnableAuditError,
     GeometryError,
     InputError,
+    InternalInvariantError,
     ReproError,
     SkewAuditError,
     SkewBalanceError,
     TechnologyError,
+)
+from repro.check.tolerance import (
+    effectively_zero,
+    relatively_close,
 )
 from repro.check.validate import (
     validate_gate_model,
@@ -47,6 +56,11 @@ __all__ = [
     "TechnologyError",
     "GeometryError",
     "SkewBalanceError",
+    "ContractError",
+    "ContractTypeError",
+    "InternalInvariantError",
+    "effectively_zero",
+    "relatively_close",
     "AuditError",
     "SkewAuditError",
     "CapAuditError",
@@ -61,7 +75,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.check.tolerance import relatively_close
+
 from repro.check.errors import (
     AuditError,
     CapAuditError,
@@ -453,7 +455,7 @@ def _audit_controller(tree, routing, tol: float) -> List[AuditFinding]:
         length = pin.manhattan_to(ctrl)
         switched += (c * length + gate_in) * node.enable_transition_probability
         wirelength += length
-    if abs(wirelength - routing.wirelength) > tol * max(1.0, wirelength):
+    if not relatively_close(routing.wirelength, wirelength, rel=tol):
         findings.append(
             AuditFinding(
                 "controller",
@@ -461,7 +463,7 @@ def _audit_controller(tree, routing, tol: float) -> List[AuditFinding]:
                 "%.6g" % (routing.wirelength, wirelength),
             )
         )
-    if abs(switched - routing.switched_cap) > tol * max(1.0, abs(switched)):
+    if not relatively_close(routing.switched_cap, switched, rel=tol):
         findings.append(
             AuditFinding(
                 "controller",

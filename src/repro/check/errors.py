@@ -18,12 +18,19 @@ Hierarchy::
     +-- TechnologyError     (ValueError)  bad technology parameters
     +-- GeometryError       (ValueError)  geometric/merge infeasibility
     |   +-- SkewBalanceError              no wire assignment balances
+    +-- ContractError       (ValueError)  library API misuse
+    +-- ContractTypeError   (TypeError)   wrong kind/type at an API
+    +-- InternalInvariantError (RuntimeError)  "cannot happen" states
     +-- AuditError                        post-hoc invariant violations
         +-- SkewAuditError                skew / delay recheck failed
         +-- CapAuditError                 capacitance bookkeeping drift
         +-- EnableAuditError              P(EN) hierarchy broken
         +-- EmbeddingAuditError (ValueError)  TRR / placement invalid
         +-- ControllerAuditError          enable-star inconsistency
+
+The ``REP002`` lint rule (``repro.lint``) enforces the taxonomy: a
+bare ``raise ValueError/RuntimeError/TypeError`` anywhere in
+``src/repro`` outside this package fails the lint gate.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ class ReproError(Exception):
         line: Optional[int] = None,
         field: Optional[str] = None,
         node: Optional[int] = None,
-    ):
+    ) -> None:
         self.message = message
         self.source = None if source is None else str(source)
         self.line = line
@@ -92,6 +99,37 @@ class SkewBalanceError(GeometryError):
 
     Happens only in degenerate technologies (both wire RC products and
     cell drive terms zero), never for physical parameter sets.
+    """
+
+
+class ContractError(ReproError, ValueError):
+    """A library API was called with values outside its contract.
+
+    Distinct from :class:`InputError`: the offending value came from
+    *calling code* (a bad knob, a wrong call order, an out-of-domain
+    parameter), not from a user-supplied file.  Also a ``ValueError``
+    for compatibility with callers written against the old bare
+    raises.
+    """
+
+
+class ContractTypeError(ReproError, TypeError):
+    """A library API was called with the wrong *kind* of value.
+
+    Also a ``TypeError`` so generic callers keep working (e.g. the
+    metrics registry's kind-aliasing guard raised ``TypeError`` before
+    the taxonomy existed).
+    """
+
+
+class InternalInvariantError(ReproError, RuntimeError):
+    """A "cannot happen" internal state was reached.
+
+    Raised when the library detects that one of its own invariants
+    broke mid-run (a heap drained while nodes stayed active, a table
+    lost an entry it must contain).  Always a bug in the library, not
+    in the caller's input; the ``node`` field locates the offender
+    when one is known.  Also a ``RuntimeError`` for compatibility.
     """
 
 

@@ -238,7 +238,7 @@ def fault_by_name(name: str) -> Fault:
 # ----------------------------------------------------------------------
 # baseline inputs
 # ----------------------------------------------------------------------
-def write_baseline(directory) -> Dict[str, str]:
+def write_baseline(directory: "str | Path") -> Dict[str, str]:
     """Write a valid sinks/isa/trace/tree input set into ``directory``.
 
     Returns the path of each file keyed by fault kind.  The tree JSON
@@ -253,13 +253,13 @@ def write_baseline(directory) -> Dict[str, str]:
     from repro.io.treejson import save_tree
     from repro.tech.presets import date98_technology
 
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
     paths = {
-        "sinks": str(directory / "sinks.txt"),
-        "isa": str(directory / "isa.json"),
-        "trace": str(directory / "trace.txt"),
-        "tree": str(directory / "tree.json"),
+        "sinks": str(base / "sinks.txt"),
+        "isa": str(base / "isa.json"),
+        "trace": str(base / "trace.txt"),
+        "tree": str(base / "tree.json"),
     }
     cpu = CpuModel(CpuModelConfig(num_modules=12, num_instructions=6, seed=1))
     sinks = SinkGenerator(num_sinks=12, seed=1).generate()
@@ -274,16 +274,16 @@ def write_baseline(directory) -> Dict[str, str]:
     return paths
 
 
-def apply_fault(fault: Fault, paths: Dict[str, str], directory) -> Dict[str, str]:
+def apply_fault(fault: Fault, paths: Dict[str, str], directory: "str | Path") -> Dict[str, str]:
     """Copy the baseline inputs into ``directory`` with one fault applied."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    out = {}
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    out: Dict[str, str] = {}
     for kind, src in paths.items():
         text = Path(src).read_text(encoding="utf-8")
         if kind == fault.kind:
             text = fault.mutate(text)
-        dst = directory / Path(src).name
+        dst = base / Path(src).name
         dst.write_text(text, encoding="utf-8")
         out[kind] = str(dst)
     return out
@@ -312,7 +312,7 @@ def cli_argv(fault: Fault, paths: Dict[str, str], vectorize: bool = True) -> Lis
 def run_fault(
     fault: Fault,
     baseline: Dict[str, str],
-    directory,
+    directory: "str | Path",
     vectorize: bool = True,
 ) -> FaultOutcome:
     """Drive one fault through the CLI and judge the outcome."""
@@ -352,7 +352,7 @@ def run_fault(
 
 
 def run_fault_matrix(
-    workdir,
+    workdir: "str | Path",
     faults: Optional[Sequence[Fault]] = None,
     vectorize_modes: Sequence[bool] = (True, False),
 ) -> List[FaultOutcome]:
@@ -361,13 +361,13 @@ def run_fault_matrix(
     A clean harness run returns outcomes with ``outcome.ok`` True for
     every entry; callers (tests, CI) assert exactly that.
     """
-    workdir = Path(workdir)
-    baseline = write_baseline(workdir / "baseline")
-    outcomes = []
+    base = Path(workdir)
+    baseline = write_baseline(str(base / "baseline"))
+    outcomes: List[FaultOutcome] = []
     for fault in faults if faults is not None else FAULTS:
         for vectorize in vectorize_modes:
             tag = "%s-%s" % (fault.name, "vec" if vectorize else "scalar")
             outcomes.append(
-                run_fault(fault, baseline, workdir / tag, vectorize=vectorize)
+                run_fault(fault, baseline, base / tag, vectorize=vectorize)
             )
     return outcomes

@@ -21,6 +21,11 @@ Subcommands
     controller star) of a routed tree -- either a JSON dump from
     ``route --out`` or a freshly routed benchmark.  Exit code 1 when
     findings are reported.
+``lint``
+    Run the project-invariant static analyzer (:mod:`repro.lint`,
+    rules REP001..REP007) over ``src/repro``.  Exit code 1 when
+    findings are reported; ``--format json`` for machine-readable
+    output, ``--update-baseline`` to grandfather current findings.
 
 Examples::
 
@@ -31,6 +36,7 @@ Examples::
     gated-cts study --spec studies/paper_fig3.json --out results.json
     gated-cts audit --tree out.json
     gated-cts audit --benchmark r1 --scale 0.2
+    gated-cts lint --format json
 
 Exit codes: 0 success, 1 audit findings, 2 invalid input (typed
 ``ReproError`` or ``OSError`` -- printed as one-line diagnostics, with
@@ -369,6 +375,17 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static-analysis gate: 0 clean, 1 findings, 2 error.
+
+    See :mod:`repro.lint` for the rule catalog (REP001..REP007),
+    suppression comments and the baseline workflow.
+    """
+    from repro.lint.cli import run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.study import StudySpec, run_study
 
@@ -453,6 +470,17 @@ def build_parser() -> argparse.ArgumentParser:
         "routing a benchmark",
     )
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro.lint) "
+        "over src/repro; exit 1 on findings",
+    )
+    _add_obs(p_lint)
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_study = sub.add_parser("study", help="run a spec-driven campaign")
     _add_obs(p_study)

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.check.errors import ContractError
 from repro.cts.topology import ClockNode, ClockTree
 from repro.geometry.point import Point
 from repro.obs import get_registry, get_tracer
@@ -35,7 +36,7 @@ class Die:
 
     def __post_init__(self):
         if self.x1 < self.x0 or self.y1 < self.y0:
-            raise ValueError("die corners out of order")
+            raise ContractError("die corners out of order")
 
     @property
     def width(self) -> float:
@@ -53,7 +54,7 @@ class Die:
     def bounding(points: Sequence[Point]) -> "Die":
         """Smallest die containing the given points."""
         if not points:
-            raise ValueError("need at least one point")
+            raise ContractError("need at least one point")
         xs = [p.x for p in points]
         ys = [p.y for p in points]
         return Die(min(xs), min(ys), max(xs), max(ys))
@@ -62,7 +63,7 @@ class Die:
 def _grid_shape(k: int) -> Tuple[int, int]:
     """Split count k (a power of two) into a near-square grid."""
     if k < 1 or (k & (k - 1)) != 0:
-        raise ValueError("number of controllers must be a power of two")
+        raise ContractError("number of controllers must be a power of two")
     j = k.bit_length() - 1
     nx = 1 << ((j + 1) // 2)
     ny = 1 << (j // 2)
@@ -150,10 +151,10 @@ def gate_location(tree: ClockTree, node: ClockNode) -> Point:
     enable pin is at the parent's placement.
     """
     if node.parent is None:
-        raise ValueError("the root has no edge, hence no gate")
+        raise ContractError("the root has no edge, hence no gate")
     parent = tree.node(node.parent)
     if parent.location is None:
-        raise ValueError("tree is not embedded yet")
+        raise ContractError("tree is not embedded yet")
     return parent.location
 
 
@@ -206,7 +207,7 @@ def expected_star_wirelength(die_side: float, num_gates: int, k: int = 1) -> flo
     average edge by ``1/sqrt(k)``.
     """
     if die_side < 0 or num_gates < 0:
-        raise ValueError("die side and gate count must be non-negative")
+        raise ContractError("die side and gate count must be non-negative")
     if k < 1:
-        raise ValueError("k must be positive")
+        raise ContractError("k must be positive")
     return num_gates * die_side / (4.0 * math.sqrt(k))

@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from repro.check.errors import ContractError
 from repro.tech.parameters import GateModel
 
 from repro.cts.dme import CellDecision, CellPolicy
@@ -90,11 +91,11 @@ class GateReductionPolicy(CellPolicy):
 
     def __post_init__(self):
         if not 0.0 <= self.activity_threshold <= 1.0 + 1e-9:
-            raise ValueError("activity_threshold must lie in [0, 1]")
+            raise ContractError("activity_threshold must lie in [0, 1]")
         if self.switched_cap_threshold < 0:
-            raise ValueError("switched_cap_threshold must be non-negative")
+            raise ContractError("switched_cap_threshold must be non-negative")
         if self.force_cap_ratio is not None and self.force_cap_ratio <= 0:
-            raise ValueError("force_cap_ratio must be positive")
+            raise ContractError("force_cap_ratio must be positive")
 
     @staticmethod
     def from_knob(knob: float, tech: Technology) -> "GateReductionPolicy":
@@ -106,7 +107,7 @@ class GateReductionPolicy(CellPolicy):
         grows monotonically along the sweep.
         """
         if not 0.0 <= knob <= 1.0:
-            raise ValueError("knob must lie in [0, 1]")
+            raise ContractError("knob must lie in [0, 1]")
         gate_cap = tech.masking_gate.input_cap
         force = _BASE_FORCE_CAP_RATIO + knob * (
             _FULL_KNOB_FORCE_CAP_RATIO - _BASE_FORCE_CAP_RATIO
@@ -205,7 +206,7 @@ def apply_gate_reduction(
     Returns the number of gates pruned (net of forced re-insertions).
     """
     if mode not in ("demote", "remove"):
-        raise ValueError("mode must be 'demote' or 'remove'")
+        raise ContractError("mode must be 'demote' or 'remove'")
     with get_tracer().span("gating.reduce", mode=mode) as span:
         removed = _apply_gate_reduction(tree, policy, mode)
         span.set(pruned=removed)
@@ -315,10 +316,10 @@ def reduction_fraction(num_gates: int, num_sinks: int) -> float:
     ``2N - 2`` gates.
     """
     if num_sinks < 1:
-        raise ValueError("need at least one sink")
+        raise ContractError("need at least one sink")
     sites = 2 * num_sinks - 2
     if sites == 0:
         return 0.0
     if not 0 <= num_gates <= sites:
-        raise ValueError("gate count outside [0, %d]" % sites)
+        raise ContractError("gate count outside [0, %d]" % sites)
     return 1.0 - num_gates / sites

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.check.errors import ContractError
 from repro.cts.dme import CellDecision
 from repro.cts.merge import SkewBalanceError, SplitResult, Tap, zero_skew_split
 from repro.obs import get_registry
@@ -36,9 +37,9 @@ class GateSizingPolicy:
 
     def __post_init__(self):
         if not self.sizes or any(s <= 0 for s in self.sizes):
-            raise ValueError("sizes must be positive")
+            raise ContractError("sizes must be positive")
         if 1.0 not in self.sizes:
-            raise ValueError("the unit size must be available")
+            raise ContractError("the unit size must be available")
 
     def _options(self, decision: CellDecision):
         if decision.cell is None:

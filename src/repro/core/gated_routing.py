@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.activity.probability import ActivityOracle
+from repro.check.errors import ContractError
 from repro.cts.dme import BottomUpMerger, CellPolicy, GateEveryEdgePolicy
 from repro.cts.topology import ClockTree, Sink
 from repro.geometry.point import Point
@@ -84,7 +85,7 @@ def build_gated_tree(
     elif objective == "eq3":
         cost = switched_capacitance_cost
     else:
-        raise ValueError("objective must be 'incremental' or 'eq3'")
+        raise ContractError("objective must be 'incremental' or 'eq3'")
     merger = BottomUpMerger(
         sinks=sinks,
         tech=tech,

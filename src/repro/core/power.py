@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.errors import ContractError
 from repro.core.flow import ClockRoutingResult
 
 
@@ -30,7 +31,7 @@ class OperatingPoint:
 
     def __post_init__(self):
         if self.frequency_hz <= 0 or self.vdd <= 0:
-            raise ValueError("frequency and Vdd must be positive")
+            raise ContractError("frequency and Vdd must be positive")
 
 
 #: A representative late-90s operating point: 200 MHz at 3.3 V.
@@ -48,7 +49,7 @@ def switched_cap_to_watts(
     per counted transition.
     """
     if switched_cap_pf < 0:
-        raise ValueError("switched capacitance must be non-negative")
+        raise ContractError("switched capacitance must be non-negative")
     return switched_cap_pf * 1e-12 * point.frequency_hz * point.vdd**2 / 2.0
 
 

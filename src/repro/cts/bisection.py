@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.activity.probability import ActivityOracle
+from repro.check.errors import ContractError
 from repro.cts.dme import CellPolicy, NoCellPolicy
 from repro.cts.reembed import reembed
 from repro.cts.topology import ClockTree, Sink
@@ -57,7 +58,7 @@ def build_bisection_tree(
     ``oracle`` annotates activity statistics as in the greedy flows.
     """
     if not sinks:
-        raise ValueError("at least one sink is required")
+        raise ContractError("at least one sink is required")
     policy = cell_policy or NoCellPolicy()
     tree = ClockTree(tech)
     for sink in sinks:

@@ -27,6 +27,7 @@ passing a subtree that already violates the budget.
 from __future__ import annotations
 
 from repro.check.errors import GeometryError
+from repro.check.errors import ContractError
 from repro.cts.merge import SplitResult, Tap, zero_skew_split
 from repro.tech.parameters import Technology
 
@@ -91,9 +92,9 @@ def bounded_skew_split(
     ``delay`` / ``delay_min`` carry the merged interval.
     """
     if bound < 0:
-        raise ValueError("skew bound must be non-negative")
+        raise ContractError("skew bound must be non-negative")
     if length < 0:
-        raise ValueError("merging distance must be non-negative")
+        raise ContractError("merging distance must be non-negative")
     if bound == 0:
         return zero_skew_split(length, tap_a, tap_b, tech)
     if tap_a.delay - lo_a > bound + 1e-9 or tap_b.delay - lo_b > bound + 1e-9:

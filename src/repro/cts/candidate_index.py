@@ -41,6 +41,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.check.errors import ContractError
 from repro.geometry.trr import Trr
 
 
@@ -57,7 +58,7 @@ class SegmentGridIndex:
 
     def __init__(self, cell_size: float):
         if not cell_size > 0.0:
-            raise ValueError("cell_size must be positive")
+            raise ContractError("cell_size must be positive")
         self.cell_size = float(cell_size)
         self._segments: Dict[int, Trr] = {}
         self._cells: Dict[Tuple[int, int], Set[int]] = {}
@@ -109,7 +110,7 @@ class SegmentGridIndex:
     def insert(self, item_id: int, segment: Trr) -> None:
         """Register an active segment under ``item_id``."""
         if item_id in self._segments:
-            raise ValueError("id %d is already indexed" % item_id)
+            raise ContractError("id %d is already indexed" % item_id)
         u, v = self._center(segment)
         cell = self._cell(u, v)
         self._segments[item_id] = segment
@@ -180,7 +181,7 @@ class SegmentGridIndex:
         omits one id (the querying node itself when it is indexed).
         """
         if k < 1:
-            raise ValueError("k must be positive")
+            raise ContractError("k must be positive")
         self.queries += 1
         if self._max_radius < self._ever_max_radius:
             self.tightened_queries += 1

@@ -68,7 +68,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.activity.probability import ActivityOracle
-from repro.check.errors import InputError
+from repro.check.errors import InputError, InternalInvariantError
 from repro.cts.candidate_index import SegmentGridIndex
 from repro.obs import get_tracer, publish_index_stats, publish_merger_stats
 from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
@@ -822,7 +822,15 @@ class BottomUpMerger:
                 self._recompute_best(nid)
                 continue
             return nid, partner
-        raise RuntimeError("no mergeable pair left (internal error)")
+        # The merge loop always leaves >= 2 active nodes with mutual
+        # best pointers; an empty heap here means the bookkeeping
+        # (generation counters, reverse pointers) broke mid-run.
+        survivor = min(self._active) if self._active else None
+        raise InternalInvariantError(
+            "no mergeable pair left among %d active node(s) "
+            "(best-pair heap drained; internal error)" % len(self._active),
+            node=survivor,
+        )
 
     def _retire(self, nid: int) -> Set[int]:
         """Deactivate a node; return nodes that pointed at it."""

@@ -52,7 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dme -> kernels)
 
 
 def as_id_array(ids: Sequence[int]) -> np.ndarray:
-    """Candidate ids as an ``int64`` array (the kernels' id dtype)."""
+    """Candidate ids as an ``int64`` array (the kernels' id dtype).
+
+    Scalar counterpart: none -- dtype plumbing, no scalar arithmetic.
+    """
     return np.asarray(list(ids), dtype=np.int64)
 
 
@@ -61,6 +64,8 @@ def rank_by_cost(ids: np.ndarray, costs: np.ndarray) -> np.ndarray:
 
     This is the scalar greedy's exact comparison: cheapest cost first,
     float ties broken by the smaller node id.
+
+    Scalar counterpart: repro.cts.dme.BottomUpMerger._recompute_best
     """
     return np.lexsort((ids, costs))
 
@@ -81,6 +86,8 @@ def batch_segment_distance(
     axis, then the max of the two gaps.  ``max`` is rounding-free, so
     the result is bit-identical to the scalar call in either pair
     orientation (the gap arguments just swap).
+
+    Scalar counterpart: repro.geometry.trr.Trr.distance_to
     """
     gu = np.maximum(0.0, np.maximum(b_ulo - a_uhi, a_ulo - b_uhi))
     gv = np.maximum(0.0, np.maximum(b_vlo - a_vhi, a_vlo - b_vhi))
@@ -101,6 +108,8 @@ def batch_star_length(
     ``center = from_uv((ulo+uhi)/2, (vlo+vhi)/2)`` then
     ``|px - cx| + |py - cy|``, with the exact intermediate roundings of
     the scalar chain.
+
+    Scalar counterpart: repro.geometry.point.Point.manhattan_to
     """
     u = (ulo + uhi) / 2.0
     v = (vlo + vhi) / 2.0
@@ -148,6 +157,8 @@ def batch_zero_skew_split(
     (``0.0 * finite == 0.0`` and ``0.0 + x == x`` for the non-negative
     operands involved), so each expression below reproduces the scalar
     function's float chain bit for bit on the in-range path.
+
+    Scalar counterpart: repro.cts.merge.zero_skew_split
     """
     den = r * (cap_a + cap_b) + r * c * length
     skew = delay_b - delay_a
@@ -192,7 +203,12 @@ def batch_zero_skew_split(
 
 
 def out_of_range_lanes(split: BatchSplit) -> list:
-    """Lane indices the batch split could not model (snaking sides)."""
+    """Lane indices the batch split could not model (snaking sides).
+
+    Scalar counterpart: none -- mask bookkeeping over
+    :class:`BatchSplit`; the snaking lanes themselves are re-evaluated
+    by the scalar ``zero_skew_split``.
+    """
     return np.nonzero(~split.in_range)[0].tolist()
 
 

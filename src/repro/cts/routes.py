@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.check.errors import ContractError
 from repro.cts.topology import ClockNode, ClockTree
 from repro.geometry.point import Point
 
@@ -80,15 +81,15 @@ def edge_route(tree: ClockTree, node: ClockNode, amplitude_fraction: float = 0.0
     serpentine amplitude is ``amplitude_fraction`` of the edge length.
     """
     if node.parent is None:
-        raise ValueError("the root has no edge")
+        raise ContractError("the root has no edge")
     parent = tree.node(node.parent)
     if parent.location is None or node.location is None:
-        raise ValueError("tree is not embedded")
+        raise ContractError("tree is not embedded")
     start, end = parent.location, node.location
     manhattan = start.manhattan_to(end)
     extra = node.edge_length - manhattan
     if extra < -1e-6 * (1.0 + node.edge_length):
-        raise ValueError(
+        raise ContractError(
             "edge above node %d shorter than its endpoints' distance" % node.id
         )
     extra = max(extra, 0.0)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.check.errors import EmbeddingAuditError, InputError
+from repro.check.errors import ContractError
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
 from repro.rc.elmore import EdgeElectrical, ElmoreEvaluator
@@ -122,7 +123,7 @@ class ClockTree:
         """Append an internal node merging two existing roots."""
         for child in (left, right):
             if self._nodes[child].parent is not None:
-                raise ValueError("node %d already has a parent" % child)
+                raise ContractError("node %d already has a parent" % child)
         node = ClockNode(
             id=len(self._nodes),
             children=(left, right),
@@ -136,7 +137,7 @@ class ClockTree:
 
     def set_root(self, node_id: int) -> None:
         if self._nodes[node_id].parent is not None:
-            raise ValueError("root must not have a parent")
+            raise ContractError("root must not have a parent")
         self._root = node_id
 
     # ------------------------------------------------------------------
@@ -149,7 +150,7 @@ class ClockTree:
     @property
     def root_id(self) -> int:
         if self._root is None:
-            raise ValueError("tree has no root yet")
+            raise ContractError("tree has no root yet")
         return self._root
 
     @property

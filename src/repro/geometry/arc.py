@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.errors import GeometryError
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
 
@@ -22,9 +23,9 @@ class ManhattanArc:
 
     region: Trr
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.region.is_arc:
-            raise ValueError("region is a 2-D TRR, not a Manhattan arc")
+            raise GeometryError("region is a 2-D TRR, not a Manhattan arc")
 
     # ------------------------------------------------------------------
     # constructors
@@ -39,7 +40,7 @@ class ManhattanArc:
         """The arc between two points; they must lie on a +/-1 slope line."""
         trr = Trr.from_segment(a, b)
         if not trr.is_arc and min(trr.u_extent, trr.v_extent) > tol:
-            raise ValueError("endpoints do not define a slope +/-1 segment")
+            raise GeometryError("endpoints do not define a slope +/-1 segment")
         return ManhattanArc(trr)
 
     # ------------------------------------------------------------------
@@ -57,7 +58,7 @@ class ManhattanArc:
         """
         return max(self.region.u_extent, self.region.v_extent)
 
-    def endpoints(self):
+    def endpoints(self) -> tuple[Point, Point]:
         """The two endpoints (equal for a degenerate arc)."""
         if self.is_point:
             c = self.region.center()
@@ -71,7 +72,7 @@ class ManhattanArc:
     def point_at(self, t: float) -> Point:
         """Parametric point, ``t`` in [0, 1] from one endpoint to the other."""
         if not 0.0 <= t <= 1.0:
-            raise ValueError("t must lie in [0, 1]")
+            raise GeometryError("t must lie in [0, 1]")
         a, b = self.endpoints()
         return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterator
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,7 @@ class Point:
         """True when both coordinates match within ``tol``."""
         return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y
 

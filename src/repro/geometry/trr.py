@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from repro.check.errors import GeometryError
 from repro.geometry.point import Point
 
 _EPS = 1e-9
@@ -63,9 +64,9 @@ class Trr:
     vlo: float
     vhi: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.ulo - self.uhi > _EPS or self.vlo - self.vhi > _EPS:
-            raise ValueError(
+            raise GeometryError(
                 "degenerate TRR: [%g, %g] x [%g, %g]" % (self.ulo, self.uhi, self.vlo, self.vhi)
             )
         # Snap tiny inversions produced by floating-point noise.
@@ -81,7 +82,7 @@ class Trr:
     def from_point(p: Point, radius: float = 0.0) -> "Trr":
         """The TRR of all points within ``radius`` of ``p`` (L1 ball)."""
         if radius < 0:
-            raise ValueError("radius must be non-negative")
+            raise GeometryError("radius must be non-negative")
         return Trr(p.u - radius, p.u + radius, p.v - radius, p.v + radius)
 
     @staticmethod
@@ -142,7 +143,7 @@ class Trr:
         Raises :class:`ValueError` for a proper (2-D) rectangle.
         """
         if not self.is_arc:
-            raise ValueError("TRR is not a Manhattan arc")
+            raise GeometryError("TRR is not a Manhattan arc")
         if self.u_extent > self.v_extent:
             v = (self.vlo + self.vhi) / 2.0
             return Point.from_uv(self.ulo, v), Point.from_uv(self.uhi, v)
@@ -203,7 +204,7 @@ class Trr:
     def core(self, radius: float) -> "Trr":
         """Minkowski expansion by an L1 ball of the given radius."""
         if radius < 0:
-            raise ValueError("radius must be non-negative")
+            raise GeometryError("radius must be non-negative")
         return Trr(self.ulo - radius, self.uhi + radius, self.vlo - radius, self.vhi + radius)
 
     def intersection(self, other: "Trr", tol: float = _EPS) -> Optional["Trr"]:
@@ -222,7 +223,7 @@ class Trr:
     def sample_points(self, n: int = 5) -> Iterable[Point]:
         """Evenly spread sample points (useful for tests and plotting)."""
         if n < 1:
-            raise ValueError("n must be positive")
+            raise GeometryError("n must be positive")
         if n == 1:
             yield self.center()
             return

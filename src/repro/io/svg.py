@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.check.errors import ContractError
 from repro.core.controller import ControllerLayout, EnableRouting, gate_location
 from repro.cts.topology import ClockTree
 from repro.geometry.point import Point
@@ -43,7 +44,7 @@ def render_svg(
     """Render the routed network; returns the SVG document as a string."""
     points = [n.location for n in tree.nodes() if n.location is not None]
     if not points:
-        raise ValueError("tree is not embedded; nothing to draw")
+        raise ContractError("tree is not embedded; nothing to draw")
     xs = [p.x for p in points]
     ys = [p.y for p in points]
     if layout is not None:

@@ -1,0 +1,133 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline lets the gate turn on before every legacy finding is fixed:
+entries listed here are reported as *baselined* (not failures), new
+findings still fail the run.  Entries match on the finding
+fingerprint -- rule code, relative path and stripped source line -- so
+unrelated edits that shift line numbers do not invalidate them, with
+multiplicity (N entries absorb at most N identical findings).
+
+The file is JSON, sorted and newline-terminated, so diffs are stable:
+
+.. code-block:: json
+
+    {"version": 1,
+     "entries": [{"rule": "REP001", "path": "src/repro/x.py",
+                  "line": 12, "fingerprint": "9a0364b9e99bb480"}]}
+
+``repro lint --update-baseline`` rewrites it from the current
+findings; an empty run writes an empty baseline, which is the shipped
+state -- the repo carries **no** grandfathered REP002/REP006/REP007
+findings by policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.check.errors import InputError
+from repro.lint.model import Finding
+
+#: Default baseline filename, resolved against the project root.
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    #: (rule, path, fingerprint) -> allowed count
+    entries: Counter = field(default_factory=Counter)
+    #: informative line numbers kept for the serialized form
+    lines: Dict[Tuple[str, str, str], List[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            baseline.entries[key] += 1
+            baseline.lines.setdefault(key, []).append(finding.line)
+        return baseline
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file (typed ``InputError`` on bad shape)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise InputError("unreadable baseline: %s" % exc, source=path)
+        except ValueError as exc:
+            raise InputError("baseline is not valid JSON: %s" % exc, source=path)
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise InputError(
+                "baseline version must be %d" % _VERSION, source=path
+            )
+        raw = payload.get("entries")
+        if not isinstance(raw, list):
+            raise InputError("baseline 'entries' must be a list", source=path)
+        baseline = cls()
+        for i, entry in enumerate(raw):
+            try:
+                key = (
+                    str(entry["rule"]),
+                    str(entry["path"]),
+                    str(entry["fingerprint"]),
+                )
+            except (TypeError, KeyError):
+                raise InputError(
+                    "baseline entry %d lacks rule/path/fingerprint" % i,
+                    source=path,
+                )
+            baseline.entries[key] += 1
+            baseline.lines.setdefault(key, []).append(int(entry.get("line", 0)))
+        return baseline
+
+    def save(self, path: str) -> None:
+        """Write the sorted, diff-stable JSON form."""
+        entries = []
+        for key in sorted(self.entries):
+            rule, rel_path, fingerprint = key
+            lines = sorted(self.lines.get(key, []))
+            for i in range(self.entries[key]):
+                entries.append(
+                    {
+                        "rule": rule,
+                        "path": rel_path,
+                        "line": lines[i] if i < len(lines) else 0,
+                        "fingerprint": fingerprint,
+                    }
+                )
+        payload = {"version": _VERSION, "entries": entries}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, int]:
+        """Split findings into (new, matched_count, stale_entries)."""
+        budget = Counter(self.entries)
+        fresh: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        stale = sum(count for count in budget.values() if count > 0)
+        return fresh, matched, stale
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,111 @@
+"""The ``gated-cts lint`` subcommand (also ``python -m repro.lint``).
+
+Exit codes follow the auditor's convention: 0 clean, 1 findings,
+2 error (unreadable path, syntax error, malformed baseline -- every
+error is a typed :class:`~repro.check.errors.ReproError`, so the
+top-level CLI renders it as a one-line diagnostic).
+
+Usage::
+
+    gated-cts lint                       # lint src/repro with the
+                                         # committed baseline
+    gated-cts lint --format json         # machine-readable report
+    gated-cts lint --update-baseline     # grandfather current findings
+    gated-cts lint src/repro/cts         # restrict the scan
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.check.errors import InputError
+from repro.lint.baseline import BASELINE_FILENAME, Baseline
+from repro.lint.engine import run_lint
+from repro.lint.report import render_json, render_text
+
+#: Default scan target, relative to the project root.
+DEFAULT_TARGET = os.path.join("src", "repro")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file (default: %s at the project root, when "
+        "present)" % BASELINE_FILENAME,
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="project root for relative paths and the parity-test "
+        "lookup (default: current directory)",
+    )
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    root = os.path.abspath(args.root or os.getcwd())
+    paths = list(args.paths)
+    if not paths:
+        default = os.path.join(root, DEFAULT_TARGET)
+        if not os.path.isdir(default):
+            raise InputError(
+                "no paths given and default target missing", source=default
+            )
+        paths = [default]
+    baseline_path = args.baseline or os.path.join(root, BASELINE_FILENAME)
+    baseline: Optional[Baseline] = None
+    if not args.update_baseline and os.path.exists(baseline_path):
+        baseline = Baseline.load(baseline_path)
+    result = run_lint(paths, project_root=root, baseline=baseline)
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print("baseline written to %s (%d entr(y/ies))" % (
+            baseline_path, len(result.findings)))
+        return 0
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="project-invariant static analysis for the repro tree",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint_cli(args)
+    except InputError as exc:
+        print("repro-lint: %s" % exc.diagnostic(), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""File discovery, suppression handling and the lint run itself.
+
+The engine walks the requested paths, parses every ``.py`` file once,
+runs the rule catalog over each module, drops findings suppressed by
+``# repro: noqa[...]`` comments, and (optionally) subtracts a
+committed baseline.  Nothing under analysis is imported; a file that
+does not parse raises :class:`repro.check.errors.InputError` carrying
+the offending path and line, which the CLI maps to exit code 2.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.check.errors import InputError
+from repro.lint.baseline import Baseline
+from repro.lint.model import Finding, ModuleSource, Rule
+from repro.lint.rules import default_rules
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[REP001,REP003]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted
+    so runs are reproducible regardless of filesystem order."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        if not os.path.isdir(path):
+            raise InputError("no such file or directory", source=path)
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def parse_module(path: str, project_root: str) -> ModuleSource:
+    """Read and parse one file into a :class:`ModuleSource`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise InputError("unreadable file: %s" % exc, source=path)
+    rel = os.path.relpath(path, project_root).replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise InputError(
+            "syntax error: %s" % (exc.msg or "invalid syntax"),
+            source=rel,
+            line=exc.lineno,
+        )
+    return ModuleSource(path=rel, source=source, tree=tree, lines=source.splitlines())
+
+
+def suppressions_for(module: ModuleSource) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppression map: line -> codes (``None`` = all rules)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(module.lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group(1)
+        if codes is None or not codes.strip():
+            table[lineno] = None
+        else:
+            table[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return table
+
+
+def is_suppressed(
+    finding: Finding, table: Dict[int, Optional[Set[str]]]
+) -> bool:
+    codes = table.get(finding.line, "missing")
+    if codes == "missing":
+        return False
+    return codes is None or finding.rule in codes
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (post suppression and baseline)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    #: baseline entries that matched nothing (stale; prune them)
+    stale_baseline: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        """Finding count per rule code, sorted by code."""
+        counter = Counter(f.rule for f in self.findings)
+        return {code: counter[code] for code in sorted(counter)}
+
+
+def run_lint(
+    paths: Sequence[str],
+    project_root: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``paths`` and return the surviving findings.
+
+    ``project_root`` anchors relative paths (and the REP005 parity
+    test lookup); it defaults to the current directory.  ``baseline``
+    findings are subtracted with multiplicity: two identical findings
+    with one baseline entry report one new finding.
+    """
+    root = os.path.abspath(project_root or os.getcwd())
+    active_rules = list(rules) if rules is not None else default_rules(root)
+    result = LintResult()
+    raw: List[Finding] = []
+    for path in iter_python_files(paths):
+        module = parse_module(path, root)
+        result.files_scanned += 1
+        table = suppressions_for(module)
+        for rule in active_rules:
+            for finding in rule.check(module):
+                if is_suppressed(finding, table):
+                    result.suppressed += 1
+                else:
+                    raw.append(finding)
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    if baseline is None:
+        result.findings = raw
+        return result
+    fresh, matched, stale = baseline.partition(raw)
+    result.findings = fresh
+    result.baselined = matched
+    result.stale_baseline = stale
+    return result

@@ -1,0 +1,79 @@
+"""Text and JSON reporters for lint results.
+
+The text reporter prints one :meth:`Finding.diagnostic` line per
+finding -- the same ``source: line N: message`` shape as
+``repro.check.errors`` -- followed by a per-rule summary.  The JSON
+reporter emits a stable machine-readable document (schema below) for
+CI annotation tooling.
+
+JSON schema (``version`` 1)::
+
+    {"version": 1,
+     "tool": "repro-lint",
+     "clean": bool,
+     "files_scanned": int,
+     "suppressed": int,
+     "baselined": int,
+     "stale_baseline": int,
+     "counts": {"REP002": 3, ...},
+     "findings": [{"rule", "path", "line", "col",
+                   "message", "snippet", "fingerprint"}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import rule_catalog
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: diagnostics then a summary block."""
+    lines: List[str] = [f.diagnostic() for f in result.findings]
+    if result.findings:
+        lines.append("")
+        catalog = rule_catalog()
+        for code, count in result.counts().items():
+            rule = catalog.get(code)
+            title = rule.title if rule is not None else "unknown rule"
+            lines.append("%s  %3d  %s" % (code, count, title))
+        lines.append("")
+    tail = "%d file(s) scanned, %d finding(s)" % (
+        result.files_scanned,
+        len(result.findings),
+    )
+    extras = []
+    if result.suppressed:
+        extras.append("%d suppressed" % result.suppressed)
+    if result.baselined:
+        extras.append("%d baselined" % result.baselined)
+    if result.stale_baseline:
+        extras.append("%d stale baseline entr(y/ies)" % result.stale_baseline)
+    if extras:
+        tail += " (%s)" % ", ".join(extras)
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def report_dict(result: LintResult) -> Dict[str, Any]:
+    """The JSON document as a plain dict (schema above)."""
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro-lint",
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "stale_baseline": result.stale_baseline,
+        "counts": result.counts(),
+        "findings": [f.as_dict() for f in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """The JSON report, sorted keys, newline-terminated."""
+    return json.dumps(report_dict(result), indent=2, sort_keys=True) + "\n"

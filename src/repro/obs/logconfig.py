@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import logging
 from typing import Optional, Union
+from repro.check.errors import ContractError
 
 LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
 
@@ -29,7 +30,7 @@ def configure_logging(level: Union[str, int] = "warning") -> logging.Logger:
     if isinstance(level, str):
         name = level.lower()
         if name not in LOG_LEVELS:
-            raise ValueError(
+            raise ContractError(
                 "unknown log level %r (choose from %s)" % (level, ", ".join(LOG_LEVELS))
             )
         level = getattr(logging, name.upper())

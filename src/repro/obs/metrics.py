@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from typing import Any, Dict, Iterable, Optional
+from repro.check.errors import ContractError, ContractTypeError
 
 
 class Counter:
@@ -34,7 +35,7 @@ class Counter:
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
-            raise ValueError("counters only increase; use a gauge")
+            raise ContractError("counters only increase; use a gauge")
         self.value += amount
 
     def as_dict(self) -> Dict[str, Any]:
@@ -113,7 +114,7 @@ class MetricsRegistry:
             metric = cls(name)
             self._metrics[name] = metric
         elif not isinstance(metric, cls):
-            raise TypeError(
+            raise ContractTypeError(
                 "metric %r is a %s, not a %s"
                 % (name, type(metric).__name__, cls.__name__)
             )

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.check.errors import ContractError
 from repro.tech.parameters import GateModel, Technology
 
 
@@ -82,7 +83,7 @@ class ElmoreEvaluator:
         self._tech = tech
         roots = [e.node for e in edges if e.parent < 0]
         if len(roots) != 1:
-            raise ValueError("expected exactly one root, found %d" % len(roots))
+            raise ContractError("expected exactly one root, found %d" % len(roots))
         self._root = roots[0]
         self._presented: Dict[int, float] = {}
         self._subtree_cap: Dict[int, float] = {}

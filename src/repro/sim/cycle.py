@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.activity.isa import InstructionSet
 from repro.activity.stream import InstructionStream
+from repro.check.errors import InputError
 from repro.core.controller import EnableRouting
 from repro.cts.topology import ClockTree
 from repro.obs import get_registry, get_tracer
@@ -162,7 +163,7 @@ class ClockNetworkSimulator:
         with get_tracer().span("sim.replay", cycles=len(stream)):
             ids = stream.ids
             if ids.max() >= len(self._isa):
-                raise ValueError(
+                raise InputError(
                     "stream references an instruction outside the ISA"
                 )
             active = self._activation[:, ids]  # enables x cycles

@@ -43,7 +43,7 @@ class GateModel:
     area: float
     """Cell area, lambda^2."""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         from repro.check.validate import validate_gate_model
 
         validate_gate_model(self)
@@ -95,7 +95,7 @@ class Technology:
     wire_width: float = 1.0
     """Routing wire width, lambda -- converts wirelength to wire area."""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Non-strict: zero R/C technologies are legal to *construct*
         # (unit tests exercise degenerate cases); the flow entry points
         # re-validate with strict=True.

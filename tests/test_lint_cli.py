@@ -1,0 +1,103 @@
+"""The ``gated-cts lint`` gate: exit codes, formats, baseline flow."""
+
+import json
+
+from repro.cli import main
+
+VIOLATION = 'def f():\n    raise ValueError("boom")\n'
+
+
+def make_project(tmp_path, source=VIOLATION):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(source)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_repo_exits_zero(self, tmp_path, capsys):
+        root = make_project(tmp_path, "def f():\n    return 1\n")
+        assert main(["lint", "--root", str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        assert main(["lint", "--root", str(root)]) == 1
+        assert "[REP002]" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        root = make_project(tmp_path, "def f(:\n")
+        assert main(["lint", "--root", str(root)]) == 2
+        err = capsys.readouterr().err
+        assert "InputError" in err and "syntax error" in err
+
+    def test_missing_default_target_exits_two(self, tmp_path):
+        assert main(["lint", "--root", str(tmp_path)]) == 2
+
+    def test_explicit_paths_restrict_the_scan(self, tmp_path):
+        root = make_project(tmp_path)
+        clean = root / "src" / "repro" / "clean.py"
+        clean.write_text("def g():\n    return 2\n")
+        assert main(["lint", "--root", str(root), str(clean)]) == 0
+
+
+class TestJsonFormat:
+    def test_json_report_on_stdout(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        assert main(["lint", "--root", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["counts"] == {"REP002": 1}
+        assert payload["findings"][0]["path"] == "src/repro/mod.py"
+
+
+class TestBaselineFlow:
+    def test_update_then_clean_then_regress(self, tmp_path, capsys):
+        root = make_project(tmp_path)
+        # grandfather the current findings
+        assert main(["lint", "--root", str(root), "--update-baseline"]) == 0
+        assert (root / ".repro-lint-baseline.json").exists()
+        # the same tree now gates clean
+        assert main(["lint", "--root", str(root)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # a new violation still fails
+        (root / "src" / "repro" / "new.py").write_text(
+            'def g():\n    raise RuntimeError("fresh")\n'
+        )
+        assert main(["lint", "--root", str(root)]) == 1
+
+    def test_explicit_baseline_path(self, tmp_path):
+        root = make_project(tmp_path)
+        baseline = root / "custom-baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    "--root",
+                    str(root),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        assert (
+            main(["lint", "--root", str(root), "--baseline", str(baseline)]) == 0
+        )
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_lints_clean(self, capsys):
+        """The gate the CI runs: the committed tree has zero findings
+        against the committed (empty) baseline."""
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_shipped_baseline_is_empty(self):
+        from repro.lint.baseline import BASELINE_FILENAME, Baseline
+
+        baseline = Baseline.load(BASELINE_FILENAME)
+        assert len(baseline) == 0

@@ -1,0 +1,90 @@
+"""The obs name catalog covers the live instrumentation (REP004's
+runtime half): every span and metric a routed benchmark actually
+emits must be registered in ``repro.obs.names``."""
+
+import pytest
+
+from repro.bench.suite import load_benchmark
+from repro.core.flow import route_gated
+from repro.core.gate_reduction import GateReductionPolicy
+from repro.core.gate_sizing import GateSizingPolicy
+from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+from repro.obs.names import (
+    METRIC_NAMES,
+    METRIC_PREFIXES,
+    SPAN_NAMES,
+    is_valid_name,
+    metric_name_known,
+    span_name_known,
+)
+from repro.sim.cycle import ClockNetworkSimulator
+from repro.tech.presets import date98_technology
+
+
+@pytest.fixture()
+def observed():
+    """Spans + metrics from a fully-featured gated route (reduction,
+    sizing, audit, simulation replay) under fresh global sinks."""
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    prev_tracer = set_tracer(tracer)
+    prev_registry = set_registry(registry)
+    try:
+        case = load_benchmark("r1", scale=0.12)
+        tech = date98_technology()
+        result = route_gated(
+            case.sinks,
+            tech,
+            case.oracle,
+            die=case.die,
+            reduction=GateReductionPolicy.from_knob(0.5, tech),
+            gate_sizing=GateSizingPolicy(),
+            audit=True,
+        )
+        sim = ClockNetworkSimulator(
+            result.tree, tech, case.cpu.isa, routing=result.routing
+        )
+        sim.run(case.stream)
+    finally:
+        set_tracer(prev_tracer)
+        set_registry(prev_registry)
+    return (
+        {span.name for span in tracer.spans},
+        set(registry.names()),
+    )
+
+
+class TestCatalogCompleteness:
+    def test_every_live_span_is_catalogued(self, observed):
+        spans, _ = observed
+        assert spans, "the traced route produced no spans"
+        missing = sorted(n for n in spans if not span_name_known(n))
+        assert missing == [], "spans missing from repro.obs.names: %s" % missing
+
+    def test_every_live_metric_is_catalogued(self, observed):
+        _, metrics = observed
+        assert metrics, "the routed flow published no metrics"
+        missing = sorted(n for n in metrics if not metric_name_known(n))
+        assert missing == [], (
+            "metrics missing from repro.obs.names: %s" % missing
+        )
+
+    def test_every_live_name_follows_the_convention(self, observed):
+        spans, metrics = observed
+        bad = sorted(n for n in spans | metrics if not is_valid_name(n))
+        assert bad == [], "names violating phase.subphase: %s" % bad
+
+
+class TestCatalogHygiene:
+    def test_catalogued_names_follow_the_convention(self):
+        bad = sorted(
+            n for n in SPAN_NAMES | METRIC_NAMES if not is_valid_name(n)
+        )
+        assert bad == []
+
+    def test_prefixes_end_with_a_dot(self):
+        assert all(p.endswith(".") for p in METRIC_PREFIXES)
+
+    def test_no_span_metric_collisions(self):
+        # A name must mean one thing: a span or a metric, never both.
+        assert SPAN_NAMES & METRIC_NAMES == set()
