@@ -21,7 +21,9 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.report import format_table
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
 from repro.bench.sinks import SinkGenerator
+from repro.core.flow import route_gated
 from repro.cts import BottomUpMerger
 from repro.obs import Tracer, set_tracer
 
@@ -32,6 +34,15 @@ SIZES = (128, 256, 512)
 #: to amortize the per-batch overhead.
 SPEEDUP_FLOOR = 2.0
 SPEEDUP_FLOOR_AT = 256
+
+#: Full-flow sizes (r3..r5 scale; multiplied by REPRO_BENCH_SCALE).
+FLOW_SIZES = (1024, 2048, 3101)
+
+#: Flow-level floor: at full scale every FLOW_SIZES row clears 5x
+#: comfortably (see EXPERIMENTS.md); the CI smoke runs at scale 0.25
+#: (effective N = 256/512/775), where 3x at N >= 512 leaves margin.
+FLOW_SPEEDUP_FLOOR = 3.0
+FLOW_SPEEDUP_FLOOR_AT = 512
 
 
 def _sinks(n):
@@ -144,4 +155,98 @@ def test_vectorize_speedup(run_once, tech, record):
             assert r["speedup"] >= SPEEDUP_FLOOR, (
                 "vectorize must be >= %gx faster at N=%d (got %.2fx)"
                 % (SPEEDUP_FLOOR, r["sinks"], r["speedup"])
+            )
+
+
+def _flow_seconds(sinks, die, tech, n, vectorize):
+    """One full gated route under a private tracer.
+
+    Times the ``flow.route_gated`` root span -- the end-to-end number
+    the topology.gated bottleneck used to dominate.  A fresh oracle per
+    mode keeps the LRU memos from leaking work across modes.
+    """
+    cpu = CpuModel(CpuModelConfig(num_modules=n, num_instructions=24, seed=3))
+    oracle = cpu.oracle(1500)
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        result = route_gated(sinks, tech, oracle, die=die, vectorize=vectorize)
+    finally:
+        set_tracer(previous)
+    (root,) = [s for s in tracer.spans if s.name == "flow.route_gated"]
+    return result, root.duration_ns / 1e9
+
+
+@pytest.mark.benchmark(group="vectorize")
+def test_flow_vectorize_speedup(run_once, tech, scale, record):
+    """Full-flow (root span) speedup of the end-to-end screens.
+
+    Exact greedy (no candidate limit) with the default incremental
+    cost: the configuration whose O(N^2) scalar init scan made
+    ``topology.gated`` the dominant flow phase.
+    """
+
+    def measure():
+        rows = []
+        for size in FLOW_SIZES:
+            n = max(64, int(round(size * scale)))
+            generator = SinkGenerator(num_sinks=n, seed=2)
+            sinks, die = generator.generate(), generator.die()
+            vector_r, vector_t = _flow_seconds(sinks, die, tech, n, True)
+            scalar_r, scalar_t = _flow_seconds(sinks, die, tech, n, False)
+            # The screens are decision-neutral end to end.
+            assert vector_r.wirelength == scalar_r.wirelength
+            assert vector_r.switched_cap.total == scalar_r.switched_cap.total
+            assert vector_r.gate_count == scalar_r.gate_count
+            rows.append(
+                {
+                    "sinks": n,
+                    "seconds_scalar": scalar_t,
+                    "seconds_vectorized": vector_t,
+                    "speedup": scalar_t / max(vector_t, 1e-9),
+                }
+            )
+        return rows
+
+    rows = run_once(measure)
+
+    # Extend the merge-span bench's payload rather than clobbering it
+    # (definition order runs test_vectorize_speedup first; a standalone
+    # run extends the committed file).
+    path = ROOT / "BENCH_dme_vectorize.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["flow"] = {
+        "cost": "incremental_switched_capacitance_cost",
+        "span": "flow.route_gated",
+        "sizes": list(FLOW_SIZES),
+        "speedup_floor": FLOW_SPEEDUP_FLOOR,
+        "speedup_floor_at": FLOW_SPEEDUP_FLOOR_AT,
+        "rows": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    record(
+        "dme_vectorize_flow",
+        format_table(
+            ["N", "s (scalar)", "s (vectorized)", "speedup"],
+            [
+                [
+                    r["sinks"],
+                    r["seconds_scalar"],
+                    r["seconds_vectorized"],
+                    r["speedup"],
+                ]
+                for r in rows
+            ],
+            title="Gated flow end-to-end (incremental cost, exact greedy, "
+            "flow.route_gated span)",
+        ),
+    )
+
+    for r in rows:
+        if r["sinks"] >= FLOW_SPEEDUP_FLOOR_AT:
+            assert r["speedup"] >= FLOW_SPEEDUP_FLOOR, (
+                "full-flow vectorize must be >= %gx faster at N=%d "
+                "(got %.2fx)"
+                % (FLOW_SPEEDUP_FLOOR, r["sinks"], r["speedup"])
             )

@@ -26,13 +26,14 @@ import pytest
 from repro.analysis.report import format_phase_times
 from repro.bench.suite import load_benchmark
 from repro.core.flow import route_gated
-from repro.obs import Tracer, phase_profile, set_tracer
+from repro.obs import DME_DETAIL_SPANS, Tracer, phase_profile, set_tracer
 
 ROOT = Path(__file__).resolve().parent.parent
 
-#: Benchmarks profiled (smallest two keep the bench CI-sized; the JSON
-#: schema is identical at every scale).
-BENCHES = ("r1", "r2")
+#: All five paper benchmarks; ``REPRO_BENCH_SCALE`` keeps the CI run
+#: small while the full-scale r3-r5 rows document the flow-level
+#: speedup trajectory (the JSON schema is identical at every scale).
+BENCHES = ("r1", "r2", "r3", "r4", "r5")
 
 
 @pytest.mark.benchmark(group="observability")
@@ -63,7 +64,11 @@ def test_phase_profile(run_once, tech, scale, record):
     rows = []
     tables = []
     for name, (num_sinks, spans) in traced.items():
-        profile = phase_profile(spans, root_name="flow.route_gated")
+        profile = phase_profile(
+            spans,
+            root_name="flow.route_gated",
+            detail_names=DME_DETAIL_SPANS,
+        )
         assert profile.coverage >= 0.95, (
             "span tree covers %.1f%% of %s's wall clock; a phase is "
             "missing instrumentation" % (100 * profile.coverage, name)

@@ -16,6 +16,20 @@
 ``scan_stream_probabilities`` is the brute-force reference (rescan the
 whole trace per query); the test suite asserts exact agreement, which
 is the correctness claim of paper section 3.3.
+
+Activation signatures
+---------------------
+Both probabilities depend on the module mask only through its
+*activation signature*: the K-bit indicator (bit ``i`` set iff
+instruction ``i``'s usage mask intersects the subset).  Signatures
+compose under set union by bitwise OR -- the signature of
+``mask_a | mask_b`` is ``sig_a | sig_b`` -- which is what makes the
+merger's candidate screens vectorizable: it keeps one ``int64``
+signature per node and forms whole batches of merged-pair signatures
+with a single ``np.bitwise_or``.  :meth:`ActivityOracle.batch_probabilities`
+then answers ``P(EN)`` for the whole batch through the same
+per-signature memo the scalar path uses, so batched and scalar lookups
+are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -60,6 +74,22 @@ class ActivityOracle:
         #                                = a^T (row + col) - 2 a^T P a.
         self._row = self._pair.sum(axis=1)
         self._col = self._pair.sum(axis=0)
+        # Signature-level memos.  The mask-level methods below route
+        # through these, so a scalar ``signal_probability(mask)`` and a
+        # ``batch_probabilities`` lane with the same signature share
+        # one cached float -- bit-identical by construction.
+        self.activation_signature = lru_cache(maxsize=cache_size)(
+            self._activation_signature
+        )
+        self._signature_signal = lru_cache(maxsize=cache_size)(
+            self._signature_signal_uncached
+        )
+        self._signature_transition = lru_cache(maxsize=cache_size)(
+            self._signature_transition_uncached
+        )
+        self._signature_statistics = lru_cache(maxsize=cache_size)(
+            self._signature_statistics_uncached
+        )
         self.signal_probability = lru_cache(maxsize=cache_size)(
             self._signal_probability
         )
@@ -82,6 +112,10 @@ class ActivityOracle:
             "signal_probability": self.signal_probability.cache_info(),
             "transition_probability": self.transition_probability.cache_info(),
             "statistics": self.statistics.cache_info(),
+            "activation_signature": self.activation_signature.cache_info(),
+            "signature_signal": self._signature_signal.cache_info(),
+            "signature_transition": self._signature_transition.cache_info(),
+            "signature_statistics": self._signature_statistics.cache_info(),
         }
 
     def publish_metrics(self, registry=None) -> None:
@@ -103,31 +137,113 @@ class ActivityOracle:
             count=len(self._masks),
         )
 
+    @property
+    def signature_bits(self) -> int:
+        """Width of an activation signature (= number of instructions).
+
+        Signatures up to 63 bits fit an ``int64`` array column; wider
+        ISAs still work through the scalar (Python int) path.
+        """
+        return len(self._masks)
+
+    def _activation_signature(self, module_mask: int) -> int:
+        """K-bit activation indicator of a module subset, as an int.
+
+        Bit ``i`` is set iff instruction ``i`` activates the subset.
+        The signature of a mask union is the OR of the signatures.
+        """
+        sig = 0
+        for i, m in enumerate(self._masks):
+            if m & module_mask:
+                sig |= 1 << i
+        return sig
+
+    def _signature_vector(self, signature: int) -> np.ndarray:
+        """The activation indicator vector encoded by a signature.
+
+        Produces exactly the 0.0/1.0 floats of
+        :meth:`activation_vector`, so probabilities computed from a
+        signature are bit-identical to the mask-level ones.
+        """
+        return np.fromiter(
+            ((signature >> i) & 1 for i in range(len(self._masks))),
+            dtype=float,
+            count=len(self._masks),
+        )
+
+    def _signature_signal_uncached(self, signature: int) -> float:
+        if signature == 0:
+            return 0.0
+        a = self._signature_vector(signature)
+        # Clamp float summation noise: probabilities live in [0, 1].
+        return min(max(float(a @ self._ift), 0.0), 1.0)
+
+    def _signature_transition_uncached(self, signature: int) -> float:
+        if signature == 0:
+            return 0.0
+        a = self._signature_vector(signature)
+        value = float(a @ (self._row + self._col) - 2.0 * (a @ self._pair @ a))
+        # Clamp float noise: a probability must lie in [0, 1].
+        return min(max(value, 0.0), 1.0)
+
+    def _signature_statistics_uncached(self, signature: int) -> EnableStatistics:
+        if signature == 0:
+            return EnableStatistics(0.0, 0.0)
+        a = self._signature_vector(signature)
+        p = min(max(float(a @ self._ift), 0.0), 1.0)
+        ptr = float(a @ (self._row + self._col) - 2.0 * (a @ self._pair @ a))
+        return EnableStatistics(p, min(max(ptr, 0.0), 1.0))
+
     def _signal_probability(self, module_mask: int) -> float:
         """``P(EN)`` for the module subset."""
         if module_mask == 0:
             return 0.0
-        a = self.activation_vector(module_mask)
-        # Clamp float summation noise: probabilities live in [0, 1].
-        return min(max(float(a @ self._ift), 0.0), 1.0)
+        return self._signature_signal(self.activation_signature(module_mask))
 
     def _transition_probability(self, module_mask: int) -> float:
         """``P_tr(EN)`` for the module subset."""
         if module_mask == 0:
             return 0.0
-        a = self.activation_vector(module_mask)
-        value = float(a @ (self._row + self._col) - 2.0 * (a @ self._pair @ a))
-        # Clamp float noise: a probability must lie in [0, 1].
-        return min(max(value, 0.0), 1.0)
+        return self._signature_transition(self.activation_signature(module_mask))
 
     def _statistics(self, module_mask: int) -> EnableStatistics:
         """Both probabilities in one call."""
         if module_mask == 0:
             return EnableStatistics(0.0, 0.0)
-        a = self.activation_vector(module_mask)
-        p = min(max(float(a @ self._ift), 0.0), 1.0)
-        ptr = float(a @ (self._row + self._col) - 2.0 * (a @ self._pair @ a))
-        return EnableStatistics(p, min(max(ptr, 0.0), 1.0))
+        return self._signature_statistics(self.activation_signature(module_mask))
+
+    def batch_probabilities(self, signatures) -> np.ndarray:
+        """``P(EN)`` for a whole array of activation signatures.
+
+        ``signatures`` is any array-like of signature ints (``int64``
+        for ISAs up to 63 instructions, object dtype beyond).  Repeated
+        signatures are deduplicated with one vectorized ``np.unique``;
+        each unique signature is answered by the same LRU-backed
+        signature memo the scalar path uses, so every lane is
+        bit-identical to the corresponding scalar
+        ``signal_probability`` call -- and the memo keeps filling/
+        hitting across batched and scalar probes alike.
+        """
+        sigs = np.asarray(signatures)
+        if sigs.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        unique, inverse = np.unique(sigs, return_inverse=True)
+        values = np.empty(unique.shape, dtype=np.float64)
+        for j, sig in enumerate(unique.tolist()):
+            values[j] = self._signature_signal(int(sig))
+        return values[inverse]
+
+    def batch_transition_probabilities(self, signatures) -> np.ndarray:
+        """``P_tr(EN)`` for an array of signatures (see
+        :meth:`batch_probabilities`; same dedup + memo contract)."""
+        sigs = np.asarray(signatures)
+        if sigs.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        unique, inverse = np.unique(sigs, return_inverse=True)
+        values = np.empty(unique.shape, dtype=np.float64)
+        for j, sig in enumerate(unique.tolist()):
+            values[j] = self._signature_transition(int(sig))
+        return values[inverse]
 
 
 def scan_stream_probabilities(

@@ -176,6 +176,18 @@ def format_phase_times(
         [row.name, row.count, row.total_ns / 1e9, "%.1f%%" % (100 * row.fraction)]
         for row in profile.rows
     ]
+    # Detail rows are nested inside phases already listed (they sit
+    # deeper than depth 1), so they render indented and do not join
+    # the coverage sum.
+    data.extend(
+        [
+            "  " + row.name,
+            row.count,
+            row.total_ns / 1e9,
+            "%.1f%%" % (100 * row.fraction),
+        ]
+        for row in profile.detail_rows
+    )
     data.append(
         [
             "(total traced)",

@@ -74,6 +74,7 @@ from repro.core.gate_reduction import GateReductionPolicy
 from repro.io.svg import save_svg
 from repro.io.treejson import save_tree
 from repro.obs import (
+    DME_DETAIL_SPANS,
     LOG_LEVELS,
     configure_logging,
     disable_tracing,
@@ -528,7 +529,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_jsonl:
             write_spans_jsonl(tracer.spans, args.trace_jsonl)
             print("span log written to %s" % args.trace_jsonl)
-        print(format_phase_times(phase_profile(tracer.spans)))
+        print(
+            format_phase_times(
+                phase_profile(tracer.spans, detail_names=DME_DETAIL_SPANS)
+            )
+        )
     if args.metrics_out:
         write_metrics_json(get_registry(), args.metrics_out)
         print("metrics written to %s" % args.metrics_out)

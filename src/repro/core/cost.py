@@ -72,6 +72,58 @@ def _decision_weight(
     return 1.0
 
 
+def _uniform_screen_ready(merger: BottomUpMerger) -> bool:
+    """Can the batch hooks below cover *every* candidate lane exactly?
+
+    The ``batch_cost_ready`` protocol: the merger calls this once at
+    construction before enabling its exact kernel screen.  The hooks
+    need a constant cell decision (so no per-pair ``decide`` calls) and
+    -- when the cost reads the merged enable probability -- an oracle
+    whose activation signatures fit the ``int64`` signature column
+    (ISAs up to 63 instructions; wider ones stay on the scalar path).
+    """
+    if _kernels is None or merger.node_arrays is None:
+        return False
+    if merger.cell_policy.uniform_decision(merger.tech) is None:
+        return False
+    if merger._needs_merged_probability and merger.oracle is not None:
+        return merger._signatures_ok
+    return True
+
+
+def _batch_merged_probability(merger, nid, others):
+    """Batched ``plan.merged_probability`` per candidate lane.
+
+    ``None`` when the plan would not compute one (cost/policy does not
+    need it, or there is no oracle) -- matching :meth:`plan` exactly.
+    Merged-pair signatures are one ``np.bitwise_or`` over the signature
+    column; the oracle answers them through the same signature memo the
+    scalar ``signal_probability`` routes through, so each lane is
+    bit-identical to the scalar lookup.
+    """
+    if not merger._needs_merged_probability or merger.oracle is None:
+        return None
+    sigs = merger.node_arrays.sig
+    return merger.oracle.batch_probabilities(np.bitwise_or(sigs[nid], sigs[others]))
+
+
+def _uniform_pair_weights(uniform, merger, na, others, merged_p):
+    """Batched :func:`_edge_weight` pair under a uniform decision.
+
+    Returns ``(w_a, w_b)`` -- scalars or per-lane arrays -- mirroring
+    the scalar weight rules: maskable edges switch with the child's own
+    enable probability, buffered edges always, ungated wires with the
+    merged probability when one is computed.
+    """
+    if uniform.maskable:
+        return na.enable_probability, merger.node_arrays.enable_p[others]
+    if uniform.cell is not None:
+        return 1.0, 1.0
+    if merged_p is not None:
+        return merged_p, merged_p
+    return 1.0, 1.0
+
+
 def _bound_decisions(
     merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
 ) -> Tuple[Optional[float], CellDecision, CellDecision]:
@@ -192,8 +244,81 @@ def _eq3_batch_lower_bound(merger, nid, others, distance):
     return total + a_clk * c * distance * np.minimum(w_a, w_b)
 
 
+def _batch_sides(merger, nid, others, uniform, merged_p, swapped):
+    """Per-side quantities for the batched costs, in plan-side order.
+
+    Returns ``((cap, weight, star, ptr), ...)`` for the plan's a-side
+    then b-side.  ``swapped=False`` evaluates pairs ``(nid, other)``
+    (``nid`` is the a-side); ``swapped=True`` evaluates the canonical
+    pairs ``(other, nid)`` the initialization scan needs when
+    ``other < nid`` -- the array-backed quantities move to the a-side,
+    and NumPy broadcasting keeps every per-lane float chain identical
+    to the scalar orientation's.
+    """
+    tech = merger.tech
+    cp = merger.controller_point
+    arrays = merger.node_arrays
+    na = merger.tree.node(nid)
+    w_nid, w_oth = _uniform_pair_weights(uniform, merger, na, others, merged_p)
+    star_nid = ptr_nid = star_oth = ptr_oth = None
+    if uniform.maskable:
+        star_nid = cp.manhattan_to(na.merging_segment.center())
+        ptr_nid = na.enable_transition_probability
+        star_oth = _kernels.batch_star_length(
+            cp.x,
+            cp.y,
+            arrays.ulo[others],
+            arrays.uhi[others],
+            arrays.vlo[others],
+            arrays.vhi[others],
+        )
+        ptr_oth = arrays.enable_ptr[others]
+    side_nid = (na.subtree_cap, w_nid, star_nid, ptr_nid)
+    side_oth = (arrays.cap[others], w_oth, star_oth, ptr_oth)
+    if swapped:
+        return side_oth, side_nid
+    return side_nid, side_oth
+
+
+def _eq3_batch_cost(merger, nid, others, distance, split, swapped=False):
+    """Exact batched Eq. 3 costs over a candidate id array.
+
+    Called only under the merger's exact kernel screen, whose
+    ``batch_cost_ready`` gate (:func:`_uniform_screen_ready`) guarantees
+    a uniform cell decision; ``split`` carries the cell-aware batched
+    zero-skew splits (computed in the same orientation as ``swapped``,
+    see :func:`_batch_sides`).  Mirrors
+    :func:`switched_capacitance_cost`'s accumulation order term for
+    term, so in-range lanes are bit-identical to the scalar
+    ``cost(plan(...))`` of the oriented pair; snaking lanes are
+    re-planned scalar by the merger (``kernel_scalar_fallbacks``).
+    """
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    uniform = merger.cell_policy.uniform_decision(tech)
+    merged_p = _batch_merged_probability(merger, nid, others)
+    sides = _batch_sides(merger, nid, others, uniform, merged_p, swapped)
+
+    total = None
+    for length, (cap, weight, star, ptr) in zip(
+        (split.length_a, split.length_b), sides
+    ):
+        clock_cap = c * length + cap
+        term = a_clk * clock_cap * weight
+        total = term if total is None else total + term
+        if uniform.maskable:
+            total = total + (c * star + gate_in) * ptr
+    return total
+
+
 switched_capacitance_cost.lower_bound = _eq3_lower_bound
 switched_capacitance_cost.batch_lower_bound = _eq3_batch_lower_bound
+switched_capacitance_cost.batch_cost = _eq3_batch_cost
+switched_capacitance_cost.batch_cost_needs_split = True
+switched_capacitance_cost.batch_cost_orientable = True
+switched_capacitance_cost.batch_cost_ready = _uniform_screen_ready
 
 
 def incremental_switched_capacitance_cost(
@@ -218,9 +343,15 @@ def incremental_switched_capacitance_cost(
     biases the greedy toward pairs of "cheap" nodes regardless of the
     wirelength the pairing commits, which inflates the routed tree.
 
-    This cost exposes no batch kernels: it needs the merged enable
-    probability, a per-pair oracle lookup over module-mask unions that
-    has no array form, so vectorized runs keep it on the scalar path.
+    The merged enable probability -- a per-pair oracle lookup over
+    module-mask unions -- is batched through activation signatures
+    (:meth:`~repro.activity.probability.ActivityOracle.batch_probabilities`):
+    signatures of mask unions are bitwise ORs of the per-node
+    signatures, so whole candidate sets resolve their merged
+    probabilities in one vectorized call through the same memo the
+    scalar path uses.  ``batch_cost`` / ``batch_lower_bound`` below
+    build on that; they engage only when :func:`_uniform_screen_ready`
+    holds (uniform cell decision, signatures fit ``int64``).
     """
     tech = merger.tech
     c = tech.unit_wire_capacitance
@@ -279,4 +410,95 @@ def _incremental_lower_bound(
     return total
 
 
+def _incremental_batch_cost(merger, nid, others, distance, split, swapped=False):
+    """Exact batched count-once costs over a candidate id array.
+
+    The batched mirror of
+    :func:`incremental_switched_capacitance_cost`, engaged by the
+    merger's exact kernel screen when :func:`_uniform_screen_ready`
+    holds.  Accumulation order matches the scalar loop (a-wire, a-pin,
+    a-star, b-wire, b-pin, b-star) for the pair orientation selected by
+    ``swapped`` (see :func:`_batch_sides`), so in-range lanes are
+    bit-identical to the scalar ``cost(plan(...))``.
+    """
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    uniform = merger.cell_policy.uniform_decision(tech)
+    merged_p = _batch_merged_probability(merger, nid, others)
+    pin_p = merged_p if merged_p is not None else 1.0
+    sides = _batch_sides(merger, nid, others, uniform, merged_p, swapped)
+
+    total = None
+    for length, (cap, weight, star, ptr) in zip(
+        (split.length_a, split.length_b), sides
+    ):
+        term = a_clk * c * length * weight
+        total = term if total is None else total + term
+        if uniform.cell is not None:
+            pin_weight = pin_p if uniform.maskable else 1.0
+            total = total + a_clk * uniform.cell.input_cap * pin_weight
+        if uniform.maskable:
+            total = total + (c * star + gate_in) * ptr
+    return total
+
+
+def _incremental_batch_lower_bound(merger, nid, others, distance):
+    """Batched :func:`_incremental_lower_bound` over a candidate array.
+
+    Mirrors the scalar bound's float chain term for term (same
+    association order, ``np.minimum`` for the rounding-free ``min``)
+    with the merged probabilities batched through activation
+    signatures, so every lane is bit-identical to the scalar call and
+    pruning decisions cannot differ between the paths.  Returns
+    ``None`` (falling back to the scalar scan) when the policy has no
+    uniform decision or signatures do not apply.
+    """
+    if not _uniform_screen_ready(merger):
+        return None
+    tech = merger.tech
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    gate_in = tech.masking_gate.input_cap
+    cp = merger.controller_point
+    uniform = merger.cell_policy.uniform_decision(tech)
+    arrays = merger.node_arrays
+    na = merger.tree.node(nid)
+    merged_p = _batch_merged_probability(merger, nid, others)
+    pin_p = merged_p if merged_p is not None else 1.0
+    w_a, w_b = _uniform_pair_weights(uniform, merger, na, others, merged_p)
+
+    total = None
+    if uniform.cell is not None:
+        pin_weight = pin_p if uniform.maskable else 1.0
+        total = a_clk * uniform.cell.input_cap * pin_weight
+    if uniform.maskable:
+        star_a = cp.manhattan_to(na.merging_segment.center())
+        total = total + (c * star_a + gate_in) * na.enable_transition_probability
+    if uniform.cell is not None:
+        pin_weight = pin_p if uniform.maskable else 1.0
+        term = a_clk * uniform.cell.input_cap * pin_weight
+        total = term if total is None else total + term
+    if uniform.maskable:
+        star_b = _kernels.batch_star_length(
+            cp.x,
+            cp.y,
+            arrays.ulo[others],
+            arrays.uhi[others],
+            arrays.vlo[others],
+            arrays.vhi[others],
+        )
+        total = total + (c * star_b + gate_in) * arrays.enable_ptr[others]
+    term = a_clk * c * distance * np.minimum(w_a, w_b)
+    return term if total is None else total + term
+
+
 incremental_switched_capacitance_cost.lower_bound = _incremental_lower_bound
+incremental_switched_capacitance_cost.batch_lower_bound = (
+    _incremental_batch_lower_bound
+)
+incremental_switched_capacitance_cost.batch_cost = _incremental_batch_cost
+incremental_switched_capacitance_cost.batch_cost_needs_split = True
+incremental_switched_capacitance_cost.batch_cost_orientable = True
+incremental_switched_capacitance_cost.batch_cost_ready = _uniform_screen_ready

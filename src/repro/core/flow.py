@@ -172,14 +172,14 @@ def route_buffered(
     _validate_inputs(sinks, tech)
     tracer = get_tracer()
     with tracer.span("flow.route_buffered", n=len(sinks)):
-        with tracer.span("topology.buffered", n=len(sinks)):
-            tree = build_buffered_tree(
-                sinks,
-                tech,
-                candidate_limit=candidate_limit,
-                skew_bound=skew_bound,
-                vectorize=vectorize,
-            )
+        # build_buffered_tree opens its own "topology.buffered" span.
+        tree = build_buffered_tree(
+            sinks,
+            tech,
+            candidate_limit=candidate_limit,
+            skew_bound=skew_bound,
+            vectorize=vectorize,
+        )
         result = _measure("buffered", tree, tech, routing=None)
         return _maybe_audit(result, audit, skew_bound)
 
@@ -234,18 +234,18 @@ def route_gated(
         controllers=num_controllers,
     ):
         # "demote"/"remove" build fully gated, then prune below.
-        with tracer.span("topology.gated", n=len(sinks)):
-            tree = build_gated_tree(
-                sinks,
-                tech,
-                oracle,
-                controller_point=die.center,
-                cell_policy=policy,
-                candidate_limit=candidate_limit,
-                gate_sizing=gate_sizing,
-                skew_bound=skew_bound,
-                vectorize=vectorize,
-            )
+        # build_gated_tree opens its own "topology.gated" span.
+        tree = build_gated_tree(
+            sinks,
+            tech,
+            oracle,
+            controller_point=die.center,
+            cell_policy=policy,
+            candidate_limit=candidate_limit,
+            gate_sizing=gate_sizing,
+            skew_bound=skew_bound,
+            vectorize=vectorize,
+        )
         if reduction is not None and policy is None:
             # apply_gate_reduction opens its own "gating.reduce" span.
             apply_gate_reduction(tree, reduction, mode=reduction_mode)

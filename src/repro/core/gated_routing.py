@@ -25,6 +25,7 @@ from repro.check.errors import ContractError
 from repro.cts.dme import BottomUpMerger, CellPolicy, GateEveryEdgePolicy
 from repro.cts.topology import ClockTree, Sink
 from repro.geometry.point import Point
+from repro.obs import phase_span
 from repro.tech.parameters import Technology
 
 
@@ -86,16 +87,17 @@ def build_gated_tree(
         cost = switched_capacitance_cost
     else:
         raise ContractError("objective must be 'incremental' or 'eq3'")
-    merger = BottomUpMerger(
-        sinks=sinks,
-        tech=tech,
-        cost=cost,
-        cell_policy=cell_policy or GateEveryEdgePolicy(),
-        oracle=oracle,
-        controller_point=controller_point,
-        candidate_limit=candidate_limit,
-        cell_sizer=gate_sizing,
-        skew_bound=skew_bound,
-        vectorize=vectorize,
-    )
-    return merger.run()
+    with phase_span("topology.gated", n=len(sinks)):
+        merger = BottomUpMerger(
+            sinks=sinks,
+            tech=tech,
+            cost=cost,
+            cell_policy=cell_policy or GateEveryEdgePolicy(),
+            oracle=oracle,
+            controller_point=controller_point,
+            candidate_limit=candidate_limit,
+            cell_sizer=gate_sizing,
+            skew_bound=skew_bound,
+            vectorize=vectorize,
+        )
+        return merger.run()

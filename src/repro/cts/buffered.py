@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 from repro.activity.probability import ActivityOracle
 from repro.cts.dme import BottomUpMerger, BufferEveryEdgePolicy, nearest_neighbor_cost
 from repro.cts.topology import ClockTree, Sink
+from repro.obs import phase_span
 from repro.tech.parameters import Technology
 
 
@@ -32,14 +33,15 @@ def build_buffered_tree(
     toggles the NumPy kernel screens (decision-neutral; see
     :class:`~repro.cts.dme.BottomUpMerger`).
     """
-    merger = BottomUpMerger(
-        sinks=sinks,
-        tech=tech,
-        cost=nearest_neighbor_cost,
-        cell_policy=BufferEveryEdgePolicy(),
-        oracle=oracle,
-        candidate_limit=candidate_limit,
-        skew_bound=skew_bound,
-        vectorize=vectorize,
-    )
-    return merger.run()
+    with phase_span("topology.buffered", n=len(sinks)):
+        merger = BottomUpMerger(
+            sinks=sinks,
+            tech=tech,
+            cost=nearest_neighbor_cost,
+            cell_policy=BufferEveryEdgePolicy(),
+            oracle=oracle,
+            candidate_limit=candidate_limit,
+            skew_bound=skew_bound,
+            vectorize=vectorize,
+        )
+        return merger.run()

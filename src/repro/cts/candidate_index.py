@@ -33,7 +33,11 @@ Results are ranked by ``(exact distance, id)``, byte-identical to the
 full-sort implementation the merger used before, so switching to the
 index cannot change any greedy decision.  The expansion stops only
 when the bound *strictly* exceeds the k-th best distance, so distance
-ties are still broken by id exactly as the sort did.
+ties are still broken by id exactly as the sort did.  Each ring's
+exact distances can optionally be answered by one vectorized call
+(the ``batch_distance`` hook of :meth:`SegmentGridIndex.nearest`)
+instead of a Python loop; the hook is pinned bit-identical to
+``Trr.distance_to``, so it cannot change a result either.
 """
 
 from __future__ import annotations
@@ -172,13 +176,24 @@ class SegmentGridIndex:
                     yield (gu, gv)
 
     def nearest(
-        self, segment: Trr, k: int, exclude: Optional[int] = None
+        self,
+        segment: Trr,
+        k: int,
+        exclude: Optional[int] = None,
+        batch_distance=None,
     ) -> List[int]:
         """The ``k`` indexed segments nearest to ``segment``.
 
         Ranked by ``(Trr.distance_to, id)`` -- exactly the order a full
         sort over all indexed segments would produce.  ``exclude``
         omits one id (the querying node itself when it is indexed).
+
+        ``batch_distance(segment, ids) -> distances`` optionally
+        answers one ring's exact segment distances in a single call
+        (the merger passes its vectorized segment-distance kernel).
+        The callback must be bit-identical to ``Trr.distance_to`` per
+        id; results are then ranked by the same ``(distance, id)``
+        sort either way, so the hook cannot change a query result.
         """
         if k < 1:
             raise ContractError("k must be positive")
@@ -194,6 +209,7 @@ class SegmentGridIndex:
         found: List[Tuple[float, int]] = []
         r = 0
         while True:
+            ring_ids: List[int] = []
             for cell in self._ring(cu, cv, r):
                 bucket = self._cells.get(cell)
                 if not bucket:
@@ -202,7 +218,15 @@ class SegmentGridIndex:
                 for iid in bucket:
                     if iid == exclude:
                         continue
-                    found.append((segment.distance_to(self._segments[iid]), iid))
+                    ring_ids.append(iid)
+            if ring_ids:
+                if batch_distance is not None:
+                    found.extend(zip(batch_distance(segment, ring_ids), ring_ids))
+                else:
+                    found.extend(
+                        (segment.distance_to(self._segments[iid]), iid)
+                        for iid in ring_ids
+                    )
             if len(found) >= total:
                 break
             if len(found) >= k:

@@ -43,15 +43,32 @@ or off; the tests assert this):
   ulp-level tie;
 * **vectorized kernel screens** (``vectorize=True``, the default)
   batch-evaluate whole candidate sets with the NumPy kernels of
-  :mod:`repro.cts.kernels`.  Costs exposing ``batch_cost`` (the
-  nearest-neighbour objective) get an *exact* screen: one kernel call
-  ranks every candidate by ``(cost, id)`` and only the winner is
-  planned scalar.  Costs exposing only ``batch_lower_bound`` (the
-  Eq. 3 objective) get their pruning bounds batched instead.  The
-  kernels mirror the scalar float arithmetic bit for bit, and the
-  engine falls back to scalar ``plan()`` for everything they do not
-  model -- cells on edges in split-dependent costs, snaked splits,
+  :mod:`repro.cts.kernels`.  Costs exposing ``batch_cost`` (all the
+  built-in objectives) get an *exact* screen: one kernel call ranks
+  every candidate by ``(cost, id)`` and only the winner is planned
+  scalar.  The optional ``batch_cost_ready`` hook lets a cost decline
+  the exact screen per run (e.g. the switched-capacitance costs
+  without a uniform cell decision), and costs declaring
+  ``batch_cost_orientable`` extend it to the canonical initialization
+  scans, whose below-``nid`` lanes run through swapped sub-batches;
+  declined runs batch their lower bounds through
+  ``batch_lower_bound`` instead.  Merged-pair enable probabilities are
+  batched through activation signatures
+  (:meth:`repro.activity.probability.ActivityOracle.batch_probabilities`),
+  and ``candidate_limit`` index queries batch their ring distances
+  through the same segment-distance kernel.  The kernels mirror the
+  scalar float arithmetic bit for bit, and the engine falls back to
+  scalar ``plan()`` for everything they do not model -- snaked splits,
   bounded skew, the cell sizer -- so greedy decisions never change.
+
+Exact-greedy runs (no ``candidate_limit``) also repair orphaned
+best-pair pointers *lazily*: pair costs are immutable and an orphan's
+candidate set only shrinks until its entry pops, so the stale heap
+entry's cost can only underestimate the node's true current best and
+the recompute safely waits for :meth:`_pop_valid_pair`'s
+partner-inactive branch.  ``candidate_limit`` runs keep the eager
+per-merge repair -- their k-nearest candidate snapshots are
+time-sensitive.
 
 :class:`MergerStats` counts plans, cache hits, heap traffic, index
 queries, pruned probes, kernel batches, and reused distances; the
@@ -64,13 +81,19 @@ from __future__ import annotations
 import heapq
 import logging
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.activity.probability import ActivityOracle
 from repro.check.errors import InputError, InternalInvariantError
 from repro.cts.candidate_index import SegmentGridIndex
-from repro.obs import get_tracer, publish_index_stats, publish_merger_stats
+from repro.obs import (
+    get_registry,
+    get_tracer,
+    publish_index_stats,
+    publish_merger_stats,
+)
 from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.geometry.point import Point
@@ -189,6 +212,12 @@ class MergerStats:
     not model them (snaked splits).  ``distance_reuses`` counts
     ``plan()`` calls that received an already-measured segment distance
     instead of re-deriving it.
+
+    The repair counters split best-pair recomputations by trigger:
+    ``orphan_recomputes`` eager per-merge repairs of nodes whose best
+    partner retired (``candidate_limit`` runs), ``repair_recomputes``
+    lazy repairs taken when a stale best pair actually popped from the
+    heap (exact-greedy runs).
     """
 
     plans_computed: int = 0
@@ -201,6 +230,8 @@ class MergerStats:
     kernel_batches: int = 0
     kernel_candidates: int = 0
     kernel_scalar_fallbacks: int = 0
+    orphan_recomputes: int = 0
+    repair_recomputes: int = 0
 
     @property
     def cost_probes(self) -> int:
@@ -225,6 +256,8 @@ class MergerStats:
             "kernel_batches": self.kernel_batches,
             "kernel_candidates": self.kernel_candidates,
             "kernel_scalar_fallbacks": self.kernel_scalar_fallbacks,
+            "orphan_recomputes": self.orphan_recomputes,
+            "repair_recomputes": self.repair_recomputes,
             "cost_probes": self.cost_probes,
         }
 
@@ -399,32 +432,65 @@ class BottomUpMerger:
         self._batch_cost_needs_split = bool(
             getattr(cost, "batch_cost_needs_split", False)
         )
+        # Orientable batch costs accept ``swapped=True`` and evaluate
+        # the (other, nid) orientation bit-exactly, so the canonical
+        # initialization scans can exact-screen them too.
+        self._batch_cost_orientable = bool(
+            getattr(cost, "batch_cost_orientable", False)
+        )
         self._batch_bound = getattr(cost, "batch_lower_bound", None)
         uniform = None
+        self._signatures_ok = False
         if self._vectorize:
             uniform = self.cell_policy.uniform_decision(tech)
+            # Activation signatures ride in an int64 array column, so
+            # batched merged probabilities need the ISA to fit 63 bits;
+            # wider ISAs keep the scalar per-pair oracle lookups.
+            self._signatures_ok = bool(
+                oracle is not None
+                and getattr(oracle, "signature_bits", 64) <= 63
+            )
             capacity = 2 * len(sinks) - 1
             self.node_arrays = _kernels.NodeArrays(capacity)
             for nid in range(len(sinks)):
-                self.node_arrays.set_row(nid, self.tree.node(nid))
+                node = self.tree.node(nid)
+                self.node_arrays.set_row(
+                    nid, node, sig=self._node_signature(node)
+                )
             self._active_ids = _kernels.ActiveIds(range(len(sinks)), capacity)
+        self._uniform_decision = uniform
         # The exact screen replaces per-candidate plan() evaluation, so
         # it must cover every case bit-exactly: no bounded skew, no
-        # sizing, and -- for costs that need the split -- no cells
-        # (the batch split models plain wires only).
-        cell_free = uniform is not None and uniform.cell is None
+        # sizing, and -- for costs that need the split -- a uniform
+        # cell decision to feed the cell-aware batch split.  The cost's
+        # optional ``batch_cost_ready`` hook gets the final say: the
+        # switched-capacitance costs decline without a uniform decision
+        # or (when they need merged probabilities) usable signatures.
+        ready = getattr(cost, "batch_cost_ready", None)
+        cost_ready = self._batch_cost is not None and (
+            ready is None or bool(ready(self))
+        )
+        cells_modeled = uniform is not None
         self._exact_screen = bool(
             self._vectorize
-            and self._batch_cost is not None
+            and cost_ready
             and self.skew_bound == 0
             and self.cell_sizer is None
-            and (not self._batch_cost_needs_split or cell_free)
+            and (not self._batch_cost_needs_split or cells_modeled)
         )
         # The bound screen only reorders/batches lower bounds the
         # scalar pruning path would have computed anyway; the hook
         # itself declines (returns None) when it cannot vectorize.
         self._bound_screen = bool(
             self._vectorize and self._prune and self._batch_bound is not None
+        )
+        # Exact-greedy runs repair orphaned best pairs lazily at pop
+        # time (see the module docstring); candidate_limit runs must
+        # stay eager because their k-nearest candidate snapshots are
+        # taken relative to the *current* active set.
+        self._eager_repair = candidate_limit is not None
+        self._index_batch = (
+            self._index_batch_distance if self.node_arrays is not None else None
         )
         self.merge_trace: List[Tuple[int, int, int]] = []
         """(left, right, merged) triples, in merge order -- for tests."""
@@ -442,6 +508,17 @@ class BottomUpMerger:
     # ------------------------------------------------------------------
     # planning and executing a single merge
     # ------------------------------------------------------------------
+    def _node_signature(self, node: ClockNode) -> int:
+        """Activation signature stored with the node's array row.
+
+        Zero when signatures are unusable (no oracle, or an ISA wider
+        than the int64 column) -- the batched cost hooks then decline
+        and the scalar oracle lookups take over.
+        """
+        if not self._signatures_ok:
+            return 0
+        return self.oracle.activation_signature(node.module_mask)
+
     def merged_probability(self, na: ClockNode, nb: ClockNode) -> Optional[float]:
         """``P(EN)`` of the union module set, exactly as :meth:`plan`
         computes it (``None`` when the cost/policy does not need it)."""
@@ -594,7 +671,9 @@ class BottomUpMerger:
         ms = self.tree.node(nid).merging_segment
         if self._index is not None:
             self.stats.index_queries += 1
-            return self._index.nearest(ms, limit, exclude=nid)
+            return self._index.nearest(
+                ms, limit, exclude=nid, batch_distance=self._index_batch
+            )
         others = [o for o in self._active if o != nid]
         others.sort(key=lambda o: (ms.distance_to(self.tree.node(o).merging_segment), o))
         return others[:limit]
@@ -619,6 +698,28 @@ class BottomUpMerger:
             arrays.vhi[ids],
         )
 
+    def _index_batch_distance(self, segment, ids) -> List[float]:
+        """``batch_distance`` hook for :meth:`SegmentGridIndex.nearest`.
+
+        Answers one grid ring's exact segment distances with a single
+        kernel call; bit-identical to the per-candidate
+        ``Trr.distance_to`` loop the index runs without the hook.
+        """
+        arr = _kernels.as_id_array(ids)
+        self.stats.kernel_batches += 1
+        self.stats.kernel_candidates += int(arr.size)
+        arrays = self.node_arrays
+        return _kernels.batch_segment_distance(
+            segment.ulo,
+            segment.uhi,
+            segment.vlo,
+            segment.vhi,
+            arrays.ulo[arr],
+            arrays.uhi[arr],
+            arrays.vlo[arr],
+            arrays.vhi[arr],
+        ).tolist()
+
     def _kernel_candidates(self, nid: int):
         """:meth:`_candidates_for` as an id array, sorts batched."""
         limit = self.candidate_limit
@@ -628,7 +729,11 @@ class BottomUpMerger:
         if self._index is not None:
             self.stats.index_queries += 1
             ms = self.tree.node(nid).merging_segment
-            return _kernels.as_id_array(self._index.nearest(ms, limit, exclude=nid))
+            return _kernels.as_id_array(
+                self._index.nearest(
+                    ms, limit, exclude=nid, batch_distance=self._index_batch
+                )
+            )
         distance = self._batch_distances(nid, others)
         return others[_kernels.rank_by_cost(others, distance)[:limit]]
 
@@ -639,36 +744,81 @@ class BottomUpMerger:
         plans: in-range zero-skew lanes come from the batch kernels,
         every lane the kernels cannot model (snaked splits) falls back
         to a scalar plan, counted in ``kernel_scalar_fallbacks``.
-        ``canonical`` orients those fallback plans as ``(min id,
-        max id)``, matching the scalar initialization scans.
+        ``canonical`` evaluates every pair in ``(min id, max id)``
+        orientation, matching the scalar initialization scans: for
+        split-dependent costs, candidates below ``nid`` run through a
+        *swapped* sub-batch (the split kernel is broadcasting-
+        symmetric, so swapped lanes reproduce ``plan(other, nid)`` bit
+        for bit).
         """
         distance = self._batch_distances(nid, ids)
-        split = None
-        if self._batch_cost_needs_split:
-            node = self.tree.node(nid)
-            split = _kernels.batch_zero_skew_split(
-                distance,
-                node.subtree_cap,
-                node.sink_delay,
-                self.node_arrays.cap[ids],
-                self.node_arrays.delay[ids],
-                self.tech.unit_wire_resistance,
-                self.tech.unit_wire_capacitance,
+        if not self._batch_cost_needs_split:
+            return self._batch_cost(self, nid, ids, distance, None), distance
+        if canonical:
+            lo = ids < nid
+            if lo.all():
+                costs = self._oriented_costs(nid, ids, distance, swapped=True)
+                return costs, distance
+            if lo.any():
+                hi = ~lo
+                costs = _kernels.scatter_by_mask(
+                    lo,
+                    self._oriented_costs(
+                        nid, ids[lo], distance[lo], swapped=True
+                    ),
+                    self._oriented_costs(
+                        nid, ids[hi], distance[hi], swapped=False
+                    ),
+                )
+                return costs, distance
+        return self._oriented_costs(nid, ids, distance, swapped=False), distance
+
+    def _oriented_costs(self, nid: int, ids, distance, swapped: bool):
+        """Batched split-dependent costs for one pair orientation.
+
+        ``swapped=False`` evaluates ``(nid, other)`` lanes;
+        ``swapped=True`` evaluates ``(other, nid)`` -- the orientation
+        the canonical scans need for candidates below ``nid``.  Lanes
+        the split kernel cannot model fall back to a scalar plan in
+        the matching orientation.
+        """
+        node = self.tree.node(nid)
+        uniform = self._uniform_decision
+        cell = uniform.cell if uniform is not None else None
+        side_nid = (node.subtree_cap, node.sink_delay)
+        side_oth = (self.node_arrays.cap[ids], self.node_arrays.delay[ids])
+        (cap_a, delay_a), (cap_b, delay_b) = (
+            (side_oth, side_nid) if swapped else (side_nid, side_oth)
+        )
+        split = _kernels.batch_zero_skew_split(
+            distance,
+            cap_a,
+            delay_a,
+            cap_b,
+            delay_b,
+            self.tech.unit_wire_resistance,
+            self.tech.unit_wire_capacitance,
+            cell_a=cell,
+            cell_b=cell,
+        )
+        if swapped:
+            costs = self._batch_cost(
+                self, nid, ids, distance, split, swapped=True
             )
-        costs = self._batch_cost(self, nid, ids, distance, split)
-        if split is not None:
-            lanes = _kernels.out_of_range_lanes(split)
-            if lanes:
-                costs = costs.copy()
-                for j in lanes:
-                    other = int(ids[j])
-                    d = float(distance[j])
-                    if canonical and other < nid:
-                        costs[j] = self._pair_cost(other, nid, distance=d)
-                    else:
-                        costs[j] = self._pair_cost(nid, other, distance=d)
-                    self.stats.kernel_scalar_fallbacks += 1
-        return costs, distance
+        else:
+            costs = self._batch_cost(self, nid, ids, distance, split)
+        lanes = _kernels.out_of_range_lanes(split)
+        if lanes:
+            costs = costs.copy()
+            for j in lanes:
+                other = int(ids[j])
+                d = float(distance[j])
+                if swapped:
+                    costs[j] = self._pair_cost(other, nid, distance=d)
+                else:
+                    costs[j] = self._pair_cost(nid, other, distance=d)
+                self.stats.kernel_scalar_fallbacks += 1
+        return costs
 
     def _kernel_rank(self, nid: int, candidates: List[int]):
         """Batched lower bounds for :meth:`_ranked_candidates`, or
@@ -738,11 +888,17 @@ class BottomUpMerger:
         With an exact kernel screen one batch ranks every candidate by
         ``(cost, id)`` -- the same comparison the scalar loop applies,
         over the same bit-identical floats -- and only the winner gets
-        a scalar plan.  Split-dependent batch costs skip the canonical
-        scans: their batch orientation is fixed at ``(nid, other)``,
-        and only orientation-agnostic lanes may bypass ``plan()``.
+        a scalar plan.  Split-dependent batch costs join the canonical
+        scans only when they declare ``batch_cost_orientable``: the
+        screen then evaluates candidates below ``nid`` through swapped
+        sub-batches (see :meth:`_screen_costs`); non-orientable costs
+        keep the pruned scalar canonical scan.
         """
-        if self._exact_screen and not (canonical and self._batch_cost_needs_split):
+        if self._exact_screen and not (
+            canonical
+            and self._batch_cost_needs_split
+            and not self._batch_cost_orientable
+        ):
             ids = self._kernel_candidates(nid)
             if ids.size == 0:
                 self._best.pop(nid, None)
@@ -785,7 +941,8 @@ class BottomUpMerger:
                 self._recompute_best(nid)
             return
         if self._prune or (
-            self._exact_screen and not self._batch_cost_needs_split
+            self._exact_screen
+            and (not self._batch_cost_needs_split or self._batch_cost_orientable)
         ):
             # Same outcome as the all-pairs loop below (canonical pair
             # orientation keeps every cost float identical), but the
@@ -819,6 +976,10 @@ class BottomUpMerger:
                 continue  # superseded by a newer _set_best
             partner = current[1]
             if partner not in self._active:
+                # Lazy repair: the stale entry's cost never exceeded
+                # this node's true current best, so it could not have
+                # won a pop over any valid pair (module docstring).
+                self.stats.repair_recomputes += 1
                 self._recompute_best(nid)
                 continue
             return nid, partner
@@ -854,7 +1015,10 @@ class BottomUpMerger:
     def _introduce(self, merged_id: int) -> None:
         """Register a new subtree and refresh neighbours' best pairs."""
         if self.node_arrays is not None:
-            self.node_arrays.set_row(merged_id, self.tree.node(merged_id))
+            node = self.tree.node(merged_id)
+            self.node_arrays.set_row(
+                merged_id, node, sig=self._node_signature(node)
+            )
         if self._exact_screen:
             self._introduce_screened(merged_id)
             return
@@ -941,8 +1105,14 @@ class BottomUpMerger:
                 with tracer.span("dme.embed"):
                     self._place()
                 return self.tree
+            init_start = time.perf_counter_ns()
             with tracer.span("dme.init_best", n=num_sinks):
                 self._initialize_best()
+            registry = get_registry()
+            registry.gauge("dme.init_best.seconds").set(
+                (time.perf_counter_ns() - init_start) / 1e9
+            )
+            registry.counter("dme.init_best.runs").inc()
             with tracer.span("dme.merge_loop"):
                 while len(self._active) > 1:
                     a_id, b_id = self._pop_valid_pair()
@@ -950,10 +1120,12 @@ class BottomUpMerger:
                     merged = self.execute(plan)
                     orphans = (self._retire(a_id) | self._retire(b_id)) & self._active
                     self._introduce(merged.id)
-                    for orphan in orphans:
-                        current = self._best.get(orphan)
-                        if current is None or current[1] not in self._active:
-                            self._recompute_best(orphan)
+                    if self._eager_repair:
+                        for orphan in orphans:
+                            current = self._best.get(orphan)
+                            if current is None or current[1] not in self._active:
+                                self.stats.orphan_recomputes += 1
+                                self._recompute_best(orphan)
             (root,) = self._active
             self.tree.set_root(root)
             with tracer.span("dme.embed"):

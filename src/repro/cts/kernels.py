@@ -23,12 +23,13 @@ What is batched:
 
 * :func:`batch_segment_distance` -- ``Trr.distance_to`` over
   ``(ulo, uhi, vlo, vhi)`` arrays;
-* :func:`batch_zero_skew_split` -- the cell-free
-  ``repro.cts.merge.zero_skew_split`` linear balance ``x = num / den``,
-  with the degenerate-denominator and out-of-range classification
-  masks.  Out-of-range (snaking) lanes are *classified only*: their
-  results are not modelled here, and the merger falls back to the
-  scalar ``plan()`` for them;
+* :func:`batch_zero_skew_split` -- the
+  ``repro.cts.merge.zero_skew_split`` linear balance ``x = num / den``
+  (plain wires, or uniform cells on both edges via ``cell_a`` /
+  ``cell_b``), with the degenerate-denominator and out-of-range
+  classification masks.  Out-of-range (snaking) lanes are *classified
+  only*: their results are not modelled here, and the merger falls
+  back to the scalar ``plan()`` for them;
 * :func:`batch_star_length` -- controller-to-segment-center Manhattan
   distance (the enable-star estimate of the Eq. 3 cost terms).
 
@@ -68,6 +69,23 @@ def rank_by_cost(ids: np.ndarray, costs: np.ndarray) -> np.ndarray:
     Scalar counterpart: repro.cts.dme.BottomUpMerger._recompute_best
     """
     return np.lexsort((ids, costs))
+
+
+def scatter_by_mask(
+    mask: np.ndarray, when_true: np.ndarray, when_false: np.ndarray
+) -> np.ndarray:
+    """Interleave two per-lane result arrays back into mask order.
+
+    ``when_true`` holds the lanes where ``mask`` is set (in order),
+    ``when_false`` the rest.  Used to recombine the two orientation
+    sub-batches of a canonical candidate screen.
+
+    Scalar counterpart: none -- index plumbing, no scalar arithmetic.
+    """
+    out = np.empty(mask.shape, dtype=np.float64)
+    out[mask] = when_true
+    out[~mask] = when_false
+    return out
 
 
 def batch_segment_distance(
@@ -149,20 +167,38 @@ def batch_zero_skew_split(
     delay_b: np.ndarray,
     r: float,
     c: float,
+    cell_a=None,
+    cell_b=None,
 ) -> BatchSplit:
-    """Cell-free ``zero_skew_split`` over a batch of candidates.
+    """``zero_skew_split`` over a batch of candidates.
 
-    Side ``a`` is the (scalar) query node, side ``b`` the candidate
-    arrays.  With no cells the drive/intrinsic terms vanish exactly
-    (``0.0 * finite == 0.0`` and ``0.0 + x == x`` for the non-negative
-    operands involved), so each expression below reproduces the scalar
-    function's float chain bit for bit on the in-range path.
+    Side ``a`` is usually the (scalar) query node and side ``b`` the
+    candidate arrays, but every expression below broadcasts
+    symmetrically: passing the arrays as side ``a`` and the scalars as
+    side ``b`` produces the identical per-lane float chains in the
+    swapped pair orientation -- the canonical initialization scans use
+    this for candidates below the query id.  ``cell_a`` / ``cell_b``
+    are the cells (gate/buffer
+    models exposing ``drive_resistance`` / ``intrinsic_delay`` /
+    ``input_cap``) on the two new edges, or ``None`` for plain wire --
+    uniform across the batch, which is exactly the case the merger's
+    uniform cell policies produce.  With no cells the drive/intrinsic
+    terms vanish exactly (``0.0 * finite == 0.0`` and ``0.0 + x == x``
+    for the non-negative operands involved), so each expression below
+    reproduces the scalar function's float chain bit for bit on the
+    in-range path -- with or without cells.
 
     Scalar counterpart: repro.cts.merge.zero_skew_split
     """
-    den = r * (cap_a + cap_b) + r * c * length
-    skew = delay_b - delay_a
-    num = length * (r * cap_b) + r * c * length * length / 2.0 + skew
+    ra = cell_a.drive_resistance if cell_a is not None else 0.0
+    ia = cell_a.intrinsic_delay if cell_a is not None else 0.0
+    rb = cell_b.drive_resistance if cell_b is not None else 0.0
+    ib = cell_b.intrinsic_delay if cell_b is not None else 0.0
+
+    den = c * (ra + rb) + r * (cap_a + cap_b) + r * c * length
+    # Tap.unloaded_delay: t' = D + R * C + t, association preserved.
+    skew = (ib + rb * cap_b + delay_b) - (ia + ra * cap_a + delay_a)
+    num = length * (rb * c + r * cap_b) + r * c * length * length / 2.0 + skew
 
     degenerate = den <= DEGENERATE_DEN_EPS
     safe_den = np.where(degenerate, 1.0, den)
@@ -183,10 +219,20 @@ def batch_zero_skew_split(
 
     e_a = np.where(in_range, x, 0.0)
     e_b = np.where(in_range, length - x, 0.0)
-    edge_delay_a = r * e_a * (c * e_a / 2.0 + cap_a) + delay_a
-    edge_delay_b = r * e_b * (c * e_b / 2.0 + cap_b) + delay_b
-    presented_a = c * e_a + cap_a
-    presented_b = c * e_b + cap_b
+    edge_delay_a = (
+        ia + ra * (c * e_a + cap_a) + r * e_a * (c * e_a / 2.0 + cap_a) + delay_a
+    )
+    edge_delay_b = (
+        ib + rb * (c * e_b + cap_b) + r * e_b * (c * e_b / 2.0 + cap_b) + delay_b
+    )
+    if cell_a is not None:
+        presented_a = np.full_like(e_a, cell_a.input_cap)
+    else:
+        presented_a = c * e_a + cap_a
+    if cell_b is not None:
+        presented_b = np.full_like(e_b, cell_b.input_cap)
+    else:
+        presented_b = c * e_b + cap_b
     return BatchSplit(
         x=x,
         length_a=e_a,
@@ -219,9 +265,13 @@ class NodeArrays:
     coordinates, presented subtree capacitance, zero-skew sink delay
     (which equals the unloaded delay on the cell-free path the split
     kernel models), and the enable probabilities the Eq. 3 bound terms
-    read.  Rows are written once -- at construction for sinks and from
-    ``_introduce`` for merged nodes -- and never change afterwards, so
-    candidate gathers are plain fancy indexing.
+    read.  ``sig`` is an ``int64`` column of activation signatures
+    (:meth:`repro.activity.probability.ActivityOracle.activation_signature`);
+    signatures of merged pairs are one ``np.bitwise_or`` away, which is
+    what lets the cost kernels batch the oracle lookups.  Rows are
+    written once -- at construction for sinks and from ``_introduce``
+    for merged nodes -- and never change afterwards, so candidate
+    gathers are plain fancy indexing.
     """
 
     _FIELDS = (
@@ -235,12 +285,13 @@ class NodeArrays:
         "enable_ptr",
     )
 
-    __slots__ = _FIELDS
+    __slots__ = _FIELDS + ("sig",)
 
     def __init__(self, capacity: int):
         capacity = max(1, int(capacity))
         for name in self._FIELDS:
             setattr(self, name, np.zeros(capacity, dtype=np.float64))
+        self.sig = np.zeros(capacity, dtype=np.int64)
 
     def _grow(self, needed: int) -> None:
         size = max(needed + 1, 2 * self.ulo.size)
@@ -249,8 +300,11 @@ class NodeArrays:
             grown = np.zeros(size, dtype=np.float64)
             grown[: old.size] = old
             setattr(self, name, grown)
+        grown_sig = np.zeros(size, dtype=np.int64)
+        grown_sig[: self.sig.size] = self.sig
+        self.sig = grown_sig
 
-    def set_row(self, nid: int, node: "ClockNode") -> None:
+    def set_row(self, nid: int, node: "ClockNode", sig: int = 0) -> None:
         """Mirror one node's merge state under its id."""
         if nid >= self.ulo.size:
             self._grow(nid)
@@ -260,6 +314,7 @@ class NodeArrays:
         self.delay[nid] = node.sink_delay
         self.enable_p[nid] = node.enable_probability
         self.enable_ptr[nid] = node.enable_transition_probability
+        self.sig[nid] = sig
 
 
 class ActiveIds:

@@ -19,7 +19,7 @@ from repro.cts.dme import (
     nearest_neighbor_cost,
 )
 from repro.cts.topology import ClockTree, Sink
-from repro.obs import get_tracer
+from repro.obs import phase_span
 from repro.tech.parameters import Technology
 
 
@@ -30,6 +30,7 @@ def build_nearest_neighbor_tree(
     oracle: Optional[ActivityOracle] = None,
     candidate_limit: Optional[int] = None,
     skew_bound: float = 0.0,
+    vectorize: bool = True,
 ) -> ClockTree:
     """Zero-skew tree with nearest-neighbour merge order.
 
@@ -37,9 +38,10 @@ def build_nearest_neighbor_tree(
     :class:`~repro.cts.dme.BufferEveryEdgePolicy` for the paper's
     buffered baseline or :class:`~repro.cts.dme.GateEveryEdgePolicy`
     for a gated tree whose *topology* ignores activity (useful in
-    ablations).
+    ablations).  ``vectorize`` toggles the NumPy kernel screens
+    (decision-neutral; see :class:`~repro.cts.dme.BottomUpMerger`).
     """
-    with get_tracer().span("topology.nearest_neighbor", n=len(sinks)):
+    with phase_span("topology.nearest_neighbor", n=len(sinks)):
         merger = BottomUpMerger(
             sinks=sinks,
             tech=tech,
@@ -48,5 +50,6 @@ def build_nearest_neighbor_tree(
             oracle=oracle,
             candidate_limit=candidate_limit,
             skew_bound=skew_bound,
+            vectorize=vectorize,
         )
         return merger.run()

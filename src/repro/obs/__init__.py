@@ -14,6 +14,7 @@ Three layers (see ``DESIGN.md``, section "Observability"):
 """
 
 from repro.obs.export import (
+    DME_DETAIL_SPANS,
     PhaseProfile,
     PhaseRow,
     chrome_trace,
@@ -45,11 +46,13 @@ from repro.obs.tracer import (
     disable_tracing,
     enable_tracing,
     get_tracer,
+    phase_span,
     set_tracer,
 )
 
 __all__ = [
     "Counter",
+    "DME_DETAIL_SPANS",
     "Gauge",
     "Histogram",
     "LOG_LEVELS",
@@ -67,6 +70,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "phase_profile",
+    "phase_span",
     "publish_index_stats",
     "publish_merger_stats",
     "publish_oracle_cache",

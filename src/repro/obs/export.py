@@ -15,7 +15,7 @@ list a :class:`~repro.obs.tracer.Tracer` collects:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry
@@ -113,6 +113,10 @@ class PhaseProfile:
     rows: List[PhaseRow]
     root_ns: int
     covered_ns: int
+    detail_rows: List[PhaseRow] = field(default_factory=list)
+    """Totals of explicitly requested sub-phase names found at *any*
+    depth under the roots (see ``phase_profile``'s ``detail_names``);
+    nested inside ``rows`` entries, so excluded from ``covered_ns``."""
 
     @property
     def coverage(self) -> float:
@@ -120,17 +124,29 @@ class PhaseProfile:
         return self.covered_ns / self.root_ns if self.root_ns else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "root_ns": self.root_ns,
             "root_s": self.root_ns / 1e9,
             "covered_ns": self.covered_ns,
             "coverage": self.coverage,
             "phases": [r.as_dict() for r in self.rows],
         }
+        if self.detail_rows:
+            out["detail"] = [r.as_dict() for r in self.detail_rows]
+        return out
+
+
+#: The merger sub-phases worth a detail row in flow-level profiles:
+#: these sit two or more levels below the flow root (inside
+#: ``topology.*`` -> ``dme.merge``), so the depth-1 aggregation alone
+#: cannot regress them independently.
+DME_DETAIL_SPANS = ("dme.init_best", "dme.merge_loop", "dme.embed")
 
 
 def phase_profile(
-    spans: Sequence[SpanRecord], root_name: Optional[str] = None
+    spans: Sequence[SpanRecord],
+    root_name: Optional[str] = None,
+    detail_names: Sequence[str] = (),
 ) -> PhaseProfile:
     """Aggregate the direct children of root spans into phase totals.
 
@@ -138,6 +154,12 @@ def phase_profile(
     ``flow.route_gated`` runs when a trace holds several flows); by
     default every parentless span is a root.  Phases are the distinct
     names among the roots' direct children, ordered by first start.
+
+    ``detail_names`` additionally aggregates spans of the given names
+    found at *any* depth under the roots (e.g. ``DME_DETAIL_SPANS``)
+    into :attr:`PhaseProfile.detail_rows` -- they are nested inside
+    phases already counted, so they join the report as indented detail
+    rather than the coverage sum.
     """
     roots = [
         s
@@ -165,7 +187,36 @@ def phase_profile(
         )
         for name in sorted(totals, key=lambda n: order[n])
     ]
-    return PhaseProfile(rows=rows, root_ns=root_ns, covered_ns=covered)
+    detail_rows: List[PhaseRow] = []
+    if detail_names:
+        wanted = set(detail_names)
+        by_id = {s.span_id: s for s in spans}
+        d_totals: Dict[str, List[int]] = {}
+        d_order: Dict[str, int] = {}
+        for span in spans:
+            if span.name not in wanted:
+                continue
+            parent = span.parent_id
+            while parent is not None and parent not in root_ids:
+                parent = by_id[parent].parent_id if parent in by_id else None
+            if parent not in root_ids:
+                continue
+            bucket = d_totals.setdefault(span.name, [0, 0])
+            bucket[0] += 1
+            bucket[1] += span.duration_ns
+            d_order.setdefault(span.name, span.start_ns)
+        detail_rows = [
+            PhaseRow(
+                name=name,
+                count=d_totals[name][0],
+                total_ns=d_totals[name][1],
+                fraction=(d_totals[name][1] / root_ns) if root_ns else 0.0,
+            )
+            for name in sorted(d_totals, key=lambda n: d_order[n])
+        ]
+    return PhaseProfile(
+        rows=rows, root_ns=root_ns, covered_ns=covered, detail_rows=detail_rows
+    )
 
 
 # ----------------------------------------------------------------------

@@ -58,6 +58,8 @@ METRIC_NAMES = frozenset(
         "dme.index.queries",
         "dme.index.radius_recomputes",
         "dme.index.tightened_queries",
+        "dme.init_best.runs",
+        "dme.init_best.seconds",
         "gating.gates_pruned",
         "sim.cycles_replayed",
         "sizing.engaged",

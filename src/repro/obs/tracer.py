@@ -161,6 +161,10 @@ class Tracer:
             return NULL_SPAN
         return Span(self, name, attrs)
 
+    def current_span_name(self) -> Optional[str]:
+        """Name of the innermost open span (``None`` outside any span)."""
+        return self._stack[-1].name if self._stack else None
+
     def reset(self) -> None:
         """Drop all finished spans (open spans keep recording)."""
         self.spans.clear()
@@ -201,3 +205,20 @@ def enable_tracing() -> Tracer:
 def disable_tracing() -> Tracer:
     """Install a fresh disabled global tracer; returns the old one."""
     return set_tracer(Tracer(enabled=False))
+
+
+def phase_span(name: str, **attrs):
+    """A top-level phase span that dedupes against an identical wrapper.
+
+    The topology builders own their ``topology.*`` spans so library
+    callers get traced without going through the flow; a caller that
+    has *already* opened a span of the same name (an older flow, an
+    external harness) must not get a nested duplicate that would
+    double-count the phase in ``phase_profile``.  Returns the global
+    tracer's span unless the innermost open span already carries
+    ``name``, in which case the shared no-op span is returned.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled or tracer.current_span_name() == name:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)

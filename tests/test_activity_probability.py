@@ -107,3 +107,55 @@ class TestAgainstBruteForce:
         assert stats.transition_probability == pytest.approx(
             oracle.transition_probability(mask)
         )
+
+
+class TestActivationSignatures:
+    """Signature encoding and the batched probability lookups."""
+
+    def test_signature_of_union_is_or_of_signatures(self):
+        oracle, isa, _ = paper_oracle()
+        full = (1 << isa.num_modules) - 1
+        for a in range(1, 20):
+            for b in range(1, 20):
+                sig_union = oracle.activation_signature((a | b) & full)
+                assert sig_union == (
+                    oracle.activation_signature(a & full)
+                    | oracle.activation_signature(b & full)
+                )
+
+    def test_signature_bits_counts_instructions(self):
+        oracle, isa, _ = paper_oracle()
+        assert oracle.signature_bits == len(isa.masks)
+        assert oracle.activation_signature(0) == 0
+        # Every instruction clocks something, so the all-modules
+        # signature has every bit set.
+        full_mask = (1 << isa.num_modules) - 1
+        assert oracle.activation_signature(full_mask) == (
+            1 << oracle.signature_bits
+        ) - 1
+
+    def test_batch_probabilities_bit_identical_to_scalar(self):
+        oracle, isa, _ = paper_oracle()
+        masks = list(range(1 << isa.num_modules))
+        sigs = np.array([oracle.activation_signature(m) for m in masks])
+        batch_p = oracle.batch_probabilities(sigs)
+        batch_ptr = oracle.batch_transition_probabilities(sigs)
+        for j, mask in enumerate(masks):
+            assert batch_p[j] == oracle.signal_probability(mask)  # exact
+            assert batch_ptr[j] == oracle.transition_probability(mask)
+
+    def test_batch_deduplicates_repeats(self):
+        # Repeated signatures must come back lane-for-lane, and the
+        # memo sees each unique signature once.
+        oracle, _, _ = paper_oracle()
+        sig = oracle.activation_signature(0b101)
+        out = oracle.batch_probabilities(np.array([sig, sig, sig, 0]))
+        assert out[0] == out[1] == out[2] == oracle.signal_probability(0b101)
+        assert out[3] == 0.0
+        info = oracle.cache_info()["signature_signal"]
+        assert info.misses <= 2  # one per unique signature
+
+    def test_empty_batch(self):
+        oracle, _, _ = paper_oracle()
+        assert oracle.batch_probabilities(np.array([], dtype=np.int64)).shape == (0,)
+        assert oracle.batch_transition_probabilities([]).shape == (0,)

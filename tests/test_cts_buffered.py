@@ -63,3 +63,28 @@ class TestNearestNeighborTree:
         assert buf.total_wirelength() == pytest.approx(
             nn.total_wirelength(), rel=0.35
         )
+
+
+class TestVectorizeFlag:
+    """Both builders accept ``vectorize`` and produce identical trees."""
+
+    @pytest.mark.parametrize("limit", [None, 4])
+    def test_nearest_neighbor_vectorize_parity(self, limit):
+        sinks = rng_sinks(24, seed=7)
+        tech = unit_technology()
+        fast = build_nearest_neighbor_tree(
+            sinks, tech, candidate_limit=limit, vectorize=True
+        )
+        plain = build_nearest_neighbor_tree(
+            sinks, tech, candidate_limit=limit, vectorize=False
+        )
+        assert fast.total_wirelength() == plain.total_wirelength()  # exact
+        assert fast.skew() == plain.skew()
+
+    def test_buffered_vectorize_parity(self):
+        sinks = rng_sinks(24, seed=8)
+        tech = unit_technology()
+        fast = build_buffered_tree(sinks, tech, vectorize=True)
+        plain = build_buffered_tree(sinks, tech, vectorize=False)
+        assert fast.total_wirelength() == plain.total_wirelength()
+        assert fast.skew() == plain.skew()

@@ -61,7 +61,9 @@ def run_config(sinks, **kwargs):
     return merger, merger.merge_trace, tree.total_wirelength()
 
 
-ALL_OFF = dict(plan_cache=False, cost_pruning=False, spatial_index=False)
+ALL_OFF = dict(
+    plan_cache=False, cost_pruning=False, spatial_index=False, vectorize=False
+)
 
 
 class TestDeterminism:
@@ -160,7 +162,9 @@ class TestStatsAccounting:
         sinks = make_sinks(48, seed=21)
         common = dict(oracle=oracle, cost=incremental_switched_capacitance_cost)
         plain, _, _ = run_config(sinks, **ALL_OFF, **common)
-        fast, _, _ = run_config(sinks, **common)
+        # vectorize off: the exact kernel screen would replace the
+        # pruned scalar scans entirely (pruned_probes == 0).
+        fast, _, _ = run_config(sinks, vectorize=False, **common)
         assert fast.stats.plan_cache_hits > 0
         assert fast.stats.pruned_probes > 0
         assert fast.stats.plans_computed < plain.stats.plans_computed
@@ -273,3 +277,53 @@ def test_property_lower_bounds_sound(oracle, coords):
         bound = cost.lower_bound(merger, na, nb, distance)
         exact = cost(merger.plan(0, 1), merger)
         assert bound <= exact or bound == pytest.approx(exact, rel=1e-12)
+
+
+class TestRepairStrategies:
+    """Lazy (pop-time) and eager (per-merge) re-pairing are decision-
+    identical; only the accounting of where recomputes happen moves."""
+
+    def test_lazy_is_default_without_candidate_limit(self, oracle):
+        merger = build(
+            make_sinks(8), oracle=oracle, cost=incremental_switched_capacitance_cost
+        )
+        assert not merger._eager_repair
+
+    def test_candidate_limit_forces_eager(self, oracle):
+        merger = build(
+            make_sinks(8),
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+            candidate_limit=4,
+        )
+        assert merger._eager_repair
+
+    @pytest.mark.parametrize(
+        "cost", [incremental_switched_capacitance_cost, nearest_neighbor_cost],
+        ids=["incremental", "nn"],
+    )
+    def test_lazy_and_eager_traces_identical(self, oracle, cost):
+        sinks = make_sinks(40, seed=25)
+        use_oracle = oracle if cost is incremental_switched_capacitance_cost else None
+        lazy = build(sinks, oracle=use_oracle, cost=cost)
+        lazy_tree = lazy.run()
+        eager = build(sinks, oracle=use_oracle, cost=cost)
+        eager._eager_repair = True  # force the per-merge orphan loop
+        eager_tree = eager.run()
+        assert eager.merge_trace == lazy.merge_trace
+        assert eager_tree.total_wirelength() == lazy_tree.total_wirelength()
+        # The work moved, it did not change the decisions.
+        assert lazy.stats.orphan_recomputes == 0
+        assert lazy.stats.repair_recomputes > 0
+        assert eager.stats.orphan_recomputes > 0
+        assert eager.stats.repair_recomputes == 0
+
+    def test_repair_counters_in_snapshot(self, oracle):
+        merger, _, _ = run_config(
+            make_sinks(20, seed=26),
+            oracle=oracle,
+            cost=incremental_switched_capacitance_cost,
+        )
+        snapshot = merger.stats.snapshot()
+        assert "repair_recomputes" in snapshot
+        assert "orphan_recomputes" in snapshot

@@ -175,6 +175,94 @@ class TestBatchSplitParity:
         )
         assert kernels.out_of_range_lanes(split) == [1]
 
+    @settings(max_examples=200, deadline=None)
+    @given(
+        length=lengths,
+        cap_a=caps,
+        delay_a=delays,
+        sides=st.lists(st.tuples(caps, delays), min_size=1, max_size=8),
+        gates=st.booleans(),
+    )
+    def test_cell_lanes_bit_identical(self, length, cap_a, delay_a, sides, gates):
+        # Cell-aware lanes (gate or buffer on both new edges, the case
+        # every uniform cell policy produces) against the scalar split.
+        tech = unit_technology()
+        cell = tech.masking_gate if gates else tech.buffer
+        r, c = tech.unit_wire_resistance, tech.unit_wire_capacitance
+        n = len(sides)
+        split = kernels.batch_zero_skew_split(
+            np.full(n, length),
+            cap_a,
+            delay_a,
+            np.array([s[0] for s in sides]),
+            np.array([s[1] for s in sides]),
+            r,
+            c,
+            cell_a=cell,
+            cell_b=cell,
+        )
+        tap_a = Tap(cap=cap_a, delay=delay_a, cell=cell)
+        for j, (cap_b, delay_b) in enumerate(sides):
+            scalar = zero_skew_split(
+                length, tap_a, Tap(cap=cap_b, delay=delay_b, cell=cell), tech
+            )
+            assert bool(split.snake_a[j]) == (scalar.snaked == "a")
+            assert bool(split.snake_b[j]) == (scalar.snaked == "b")
+            assert bool(split.in_range[j]) == (scalar.snaked is None)
+            if split.in_range[j]:
+                assert split.length_a[j] == scalar.length_a
+                assert split.length_b[j] == scalar.length_b
+                assert split.delay[j] == scalar.delay
+                assert split.presented_a[j] == scalar.presented_a
+                assert split.presented_b[j] == scalar.presented_b
+                assert split.merged_cap[j] == scalar.merged_cap
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        length=lengths,
+        cap_b=caps,
+        delay_b=delays,
+        sides=st.lists(st.tuples(caps, delays), min_size=1, max_size=8),
+        gates=st.booleans(),
+    )
+    def test_swapped_lanes_bit_identical(
+        self, length, cap_b, delay_b, sides, gates
+    ):
+        # The kernel is broadcasting-symmetric: candidate arrays on the
+        # *a*-side and the scalar query on the *b*-side reproduce the
+        # scalar split in the swapped (other, query) orientation -- the
+        # case the canonical init scans feed it for ids below the query.
+        tech = unit_technology()
+        cell = tech.masking_gate if gates else tech.buffer
+        r, c = tech.unit_wire_resistance, tech.unit_wire_capacitance
+        n = len(sides)
+        split = kernels.batch_zero_skew_split(
+            np.full(n, length),
+            np.array([s[0] for s in sides]),
+            np.array([s[1] for s in sides]),
+            cap_b,
+            delay_b,
+            r,
+            c,
+            cell_a=cell,
+            cell_b=cell,
+        )
+        tap_b = Tap(cap=cap_b, delay=delay_b, cell=cell)
+        for j, (cap_a, delay_a) in enumerate(sides):
+            scalar = zero_skew_split(
+                length, Tap(cap=cap_a, delay=delay_a, cell=cell), tap_b, tech
+            )
+            assert bool(split.snake_a[j]) == (scalar.snaked == "a")
+            assert bool(split.snake_b[j]) == (scalar.snaked == "b")
+            assert bool(split.in_range[j]) == (scalar.snaked is None)
+            if split.in_range[j]:
+                assert split.length_a[j] == scalar.length_a
+                assert split.length_b[j] == scalar.length_b
+                assert split.delay[j] == scalar.delay
+                assert split.presented_a[j] == scalar.presented_a
+                assert split.presented_b[j] == scalar.presented_b
+                assert split.merged_cap[j] == scalar.merged_cap
+
 
 class TestNodeArrays:
     def test_grow_preserves_rows(self):
@@ -297,7 +385,10 @@ class TestVectorizeTraceParity:
         assert trace_v == trace_s and wl_v == wl_s
 
     @pytest.mark.parametrize("limit", [None, 6])
-    def test_eq3_bound_screen(self, oracle, limit):
+    def test_eq3_exact_screen(self, oracle, limit):
+        # The uniform gate policy satisfies the eq3 cost's
+        # batch_cost_ready gate, so the cell-aware exact screen engages
+        # (it used to run only the bound screen).
         sinks = make_sinks(36, seed=33)
         common = dict(
             cost=switched_capacitance_cost,
@@ -308,22 +399,27 @@ class TestVectorizeTraceParity:
         )
         vec, trace_v, wl_v = run_config(sinks, True, **common)
         _, trace_s, wl_s = run_config(sinks, False, **common)
-        assert vec._bound_screen and not vec._exact_screen
+        assert vec._exact_screen and vec._bound_screen
         assert vec.stats.kernel_batches > 0
         assert trace_v == trace_s and wl_v == wl_s
 
-    def test_incremental_cost_has_no_hooks(self, oracle):
+    @pytest.mark.parametrize("limit", [None, 6])
+    def test_incremental_exact_screen(self, oracle, limit):
+        # The count-once cost batches its merged probabilities through
+        # activation signatures; with a uniform gate policy it passes
+        # batch_cost_ready and exact-screens like the others.
         sinks = make_sinks(30, seed=34)
         common = dict(
             cost=incremental_switched_capacitance_cost,
             cell_policy=GateEveryEdgePolicy(),
             oracle=oracle,
             controller_point=Point(0.0, 0.0),
+            candidate_limit=limit,
         )
         vec, trace_v, wl_v = run_config(sinks, True, **common)
         _, trace_s, wl_s = run_config(sinks, False, **common)
-        assert not vec._exact_screen and not vec._bound_screen
-        assert vec.stats.kernel_batches == 0  # fully inert, still identical
+        assert vec._exact_screen and vec._signatures_ok
+        assert vec.stats.kernel_batches > 0
         assert trace_v == trace_s and wl_v == wl_s
 
     def test_eq3_batch_bound_declines_for_data_dependent_policy(self, oracle):
@@ -339,9 +435,10 @@ class TestVectorizeTraceParity:
         )
         vec, trace_v, wl_v = run_config(sinks, True, **common)
         _, trace_s, wl_s = run_config(sinks, False, **common)
-        # The hook declines per-call (merged-probability dependence),
-        # so the scalar bound scan runs and traces still match.
-        assert vec._bound_screen
+        # batch_cost_ready rejects the policy (no uniform decision) and
+        # the bound hook declines per-call, so the scalar bound scan
+        # runs and traces still match.
+        assert vec._bound_screen and not vec._exact_screen
         assert trace_v == trace_s and wl_v == wl_s
 
     def test_skew_bound_disables_exact_screen(self):

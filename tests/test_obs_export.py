@@ -191,6 +191,45 @@ class TestPhaseProfile:
             r.name for r in profile.rows
         ]
 
+    def test_detail_names_aggregate_at_any_depth(self):
+        # Root 0..100; child 10..90; detail spans nested two deep at
+        # 20..40 and 50..70 => detail total 40ns, fraction over root.
+        tracer = Tracer(clock=iter([0, 10, 20, 40, 50, 70, 90, 100]).__next__)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("dme.init_best"):
+                    pass
+                with tracer.span("dme.init_best"):
+                    pass
+        profile = phase_profile(tracer.spans, detail_names=("dme.init_best",))
+        assert [r.name for r in profile.rows] == ["child"]
+        (detail,) = profile.detail_rows
+        assert detail.name == "dme.init_best"
+        assert detail.count == 2
+        assert detail.total_ns == 40
+        assert detail.fraction == 0.4
+        decoded = json.loads(json.dumps(profile.as_dict()))
+        assert decoded["detail"][0]["name"] == "dme.init_best"
+
+    def test_detail_outside_roots_excluded(self):
+        tracer = Tracer(clock=_clock())
+        with tracer.span("flow.a"):
+            with tracer.span("dme.init_best"):
+                pass
+        with tracer.span("flow.b"):
+            with tracer.span("dme.init_best"):
+                pass
+        profile = phase_profile(
+            tracer.spans, root_name="flow.b", detail_names=("dme.init_best",)
+        )
+        (detail,) = profile.detail_rows
+        assert detail.count == 1  # flow.a's instance does not leak in
+
+    def test_no_detail_names_keeps_dict_shape(self):
+        profile = phase_profile(_sample_tracer().spans)
+        assert profile.detail_rows == []
+        assert "detail" not in profile.as_dict()
+
 
 class TestMetricsExport:
     def test_write_metrics_json(self, tmp_path):

@@ -269,3 +269,60 @@ class TestCliObservability:
     def test_log_level_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["route", "--benchmark", "r1", "--log-level", "verbose"])
+
+
+class TestSpanOwnership:
+    """Builders own their ``topology.*`` spans; flows do not duplicate."""
+
+    def test_library_call_opens_exactly_one_gated_span(self, case, tech, tracer):
+        from repro.core.gated_routing import build_gated_tree
+
+        sinks, oracle, die = case
+        build_gated_tree(sinks, tech, oracle, controller_point=die.center)
+        names = [s.name for s in tracer.spans]
+        assert names.count("topology.gated") == 1
+
+    def test_flow_call_opens_exactly_one_gated_span(self, case, tech, tracer):
+        sinks, oracle, die = case
+        route_gated(sinks, tech, oracle, die=die)
+        names = [s.name for s in tracer.spans]
+        assert names.count("topology.gated") == 1
+        # Still nested under the flow span, not a second root.
+        by_name = {s.name: s for s in tracer.spans}
+        gated = by_name["topology.gated"]
+        assert gated.parent_id == by_name["flow.route_gated"].span_id
+
+    def test_flow_call_opens_exactly_one_buffered_span(self, case, tech, tracer):
+        sinks, _, _ = case
+        route_buffered(sinks, tech)
+        names = [s.name for s in tracer.spans]
+        assert names.count("topology.buffered") == 1
+
+    def test_nearest_neighbor_builder_owns_its_span(self, case, tech, tracer):
+        from repro.cts.nearest_neighbor import build_nearest_neighbor_tree
+
+        sinks, _, _ = case
+        build_nearest_neighbor_tree(sinks, tech)
+        names = [s.name for s in tracer.spans]
+        assert names.count("topology.nearest_neighbor") == 1
+
+
+class TestInitBestMetric:
+    def test_init_scan_timing_published(self, case, tech, registry):
+        sinks, oracle, _ = case
+        merger = BottomUpMerger(sinks, tech, oracle=oracle)
+        merger.run()
+        exported = registry.as_dict()
+        assert exported["dme.init_best.runs"]["value"] == 1
+        assert exported["dme.init_best.seconds"]["value"] > 0.0
+
+    def test_init_scan_timing_in_phase_table(self, case, tech, tracer):
+        from repro.obs import DME_DETAIL_SPANS
+
+        sinks, oracle, die = case
+        route_gated(sinks, tech, oracle, die=die)
+        profile = phase_profile(tracer.spans, detail_names=DME_DETAIL_SPANS)
+        detail_names = [r.name for r in profile.detail_rows]
+        assert "dme.init_best" in detail_names
+        table = format_phase_times(profile)
+        assert "  dme.init_best" in table

@@ -211,3 +211,56 @@ class TestGlobalTracer:
             pass
         tracer.reset()
         assert tracer.spans == []
+
+
+class TestPhaseSpan:
+    """``phase_span``: builder-owned spans that dedupe under flows."""
+
+    def test_disabled_tracer_returns_null_span(self):
+        from repro.obs import phase_span
+
+        previous = set_tracer(Tracer(enabled=False))
+        try:
+            assert phase_span("topology.gated") is NULL_SPAN
+        finally:
+            set_tracer(previous)
+
+    def test_opens_span_when_name_not_already_open(self):
+        from repro.obs import phase_span
+
+        tracer = Tracer(enabled=True, clock=_fake_clock())
+        previous = set_tracer(tracer)
+        try:
+            with phase_span("topology.gated", n=4):
+                pass
+        finally:
+            set_tracer(previous)
+        (span,) = tracer.spans
+        assert span.name == "topology.gated" and span.attrs["n"] == 4
+
+    def test_dedupes_when_innermost_open_span_has_same_name(self):
+        from repro.obs import phase_span
+
+        tracer = Tracer(enabled=True, clock=_fake_clock())
+        previous = set_tracer(tracer)
+        try:
+            with tracer.span("topology.gated"):
+                assert phase_span("topology.gated") is NULL_SPAN
+                # A different innermost name re-arms the helper.
+                with tracer.span("dme.merge_loop"):
+                    with phase_span("topology.gated"):
+                        pass
+        finally:
+            set_tracer(previous)
+        names = [s.name for s in tracer.spans]
+        assert names.count("topology.gated") == 2  # outer + nested re-open
+
+    def test_current_span_name_tracks_stack(self):
+        tracer = Tracer(enabled=True, clock=_fake_clock())
+        assert tracer.current_span_name() is None
+        with tracer.span("a"):
+            assert tracer.current_span_name() == "a"
+            with tracer.span("b"):
+                assert tracer.current_span_name() == "b"
+            assert tracer.current_span_name() == "a"
+        assert tracer.current_span_name() is None
