@@ -15,13 +15,13 @@ Outputs:
   counts for cached vs uncached runs over several sizes.
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.report import format_merger_stats, format_table
+from repro.obs import write_bench_json
 from repro.bench.cpu_model import CpuModel, CpuModelConfig
 from repro.bench.sinks import SinkGenerator
 from repro.core.cost import incremental_switched_capacitance_cost
@@ -131,14 +131,13 @@ def test_scaling_report(run_once, tech, record):
     rows = run_once(measure)
 
     payload = {
-        "bench": "dme_plan_cache_scaling",
         "cost": "incremental_switched_capacitance_cost",
         "candidate_limit": None,
         "sizes": list(SIZES),
         "rows": rows,
     }
-    (ROOT / "BENCH_dme_scaling.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    write_bench_json(
+        ROOT / "BENCH_dme_scaling.json", "dme_plan_cache_scaling", payload
     )
 
     record(

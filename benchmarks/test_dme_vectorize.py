@@ -15,7 +15,6 @@ Outputs:
   speedups, and the kernel counters per size.
 """
 
-import json
 from pathlib import Path
 
 import pytest
@@ -25,7 +24,8 @@ from repro.bench.cpu_model import CpuModel, CpuModelConfig
 from repro.bench.sinks import SinkGenerator
 from repro.core.flow import route_gated
 from repro.cts import BottomUpMerger
-from repro.obs import Tracer, set_tracer
+from repro.obs import Tracer, load_json, set_tracer, write_bench_json, write_json
+from repro.obs.jsonio import round_floats
 
 ROOT = Path(__file__).resolve().parent.parent
 SIZES = (128, 256, 512)
@@ -106,7 +106,6 @@ def test_vectorize_speedup(run_once, tech, record):
     rows = run_once(measure)
 
     payload = {
-        "bench": "dme_vectorize",
         "cost": "nearest_neighbor_cost",
         "cell_policy": "NoCellPolicy",
         "span": "dme.merge",
@@ -115,9 +114,7 @@ def test_vectorize_speedup(run_once, tech, record):
         "speedup_floor_at": SPEEDUP_FLOOR_AT,
         "rows": rows,
     }
-    (ROOT / "BENCH_dme_vectorize.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_bench_json(ROOT / "BENCH_dme_vectorize.json", "dme_vectorize", payload)
 
     record(
         "dme_vectorize",
@@ -214,7 +211,7 @@ def test_flow_vectorize_speedup(run_once, tech, scale, record):
     # (definition order runs test_vectorize_speedup first; a standalone
     # run extends the committed file).
     path = ROOT / "BENCH_dme_vectorize.json"
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload = load_json(path)
     payload["flow"] = {
         "cost": "incremental_switched_capacitance_cost",
         "span": "flow.route_gated",
@@ -223,7 +220,9 @@ def test_flow_vectorize_speedup(run_once, tech, scale, record):
         "speedup_floor_at": FLOW_SPEEDUP_FLOOR_AT,
         "rows": rows,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # The base payload already carries the schema key; re-rounding is
+    # idempotent on it and normalizes the freshly added flow section.
+    write_json(path, round_floats(payload))
 
     record(
         "dme_vectorize_flow",

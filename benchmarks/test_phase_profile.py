@@ -18,7 +18,6 @@ Outputs:
 * ``BENCH_phase_profile.json`` -- machine-readable per-phase rows.
 """
 
-import json
 from pathlib import Path
 
 import pytest
@@ -26,7 +25,16 @@ import pytest
 from repro.analysis.report import format_phase_times
 from repro.bench.suite import load_benchmark
 from repro.core.flow import route_gated
-from repro.obs import DME_DETAIL_SPANS, Tracer, phase_profile, set_tracer
+from repro.obs import (
+    DME_DETAIL_SPANS,
+    MetricsRegistry,
+    Tracer,
+    phase_profile,
+    record_from_trace,
+    set_registry,
+    set_tracer,
+    write_bench_json,
+)
 
 ROOT = Path(__file__).resolve().parent.parent
 
@@ -37,7 +45,7 @@ BENCHES = ("r1", "r2", "r3", "r4", "r5")
 
 
 @pytest.mark.benchmark(group="observability")
-def test_phase_profile(run_once, tech, scale, record):
+def test_phase_profile(run_once, tech, scale, record, ledger):
     """Trace gated routes; persist phase totals; require 95% coverage."""
 
     def measure():
@@ -45,9 +53,13 @@ def test_phase_profile(run_once, tech, scale, record):
         for name in BENCHES:
             case = load_benchmark(name, scale=scale)
             tracer = Tracer(enabled=True)
+            # A private registry per benchmark keeps the RunRecord's
+            # counter snapshot scoped to this route alone.
+            registry = MetricsRegistry()
+            previous_reg = set_registry(registry)
             previous = set_tracer(tracer)
             try:
-                route_gated(
+                result = route_gated(
                     case.sinks,
                     tech,
                     case.oracle,
@@ -56,14 +68,35 @@ def test_phase_profile(run_once, tech, scale, record):
                 )
             finally:
                 set_tracer(previous)
-            out[name] = (len(case.sinks), tracer.spans)
+                set_registry(previous_reg)
+            out[name] = (len(case.sinks), tracer, registry, result)
         return out
 
     traced = run_once(measure)
 
+    # Every traced route also lands in the run ledger, so the sentinel
+    # can diff bench runs across commits the same way it diffs CLI runs.
+    for name, (num_sinks, tracer, registry, result) in traced.items():
+        ledger.save(
+            record_from_trace(
+                kind="bench",
+                label="phase_profile:%s" % name,
+                config={
+                    "benchmark": name,
+                    "sinks": num_sinks,
+                    "candidate_limit": 16,
+                },
+                tracer=tracer,
+                pins=result.pins(),
+                registry=registry,
+                root_name="flow.route_gated",
+            )
+        )
+
     rows = []
     tables = []
-    for name, (num_sinks, spans) in traced.items():
+    for name, (num_sinks, tracer, _, _) in traced.items():
+        spans = tracer.spans
         profile = phase_profile(
             spans,
             root_name="flow.route_gated",
@@ -92,8 +125,6 @@ def test_phase_profile(run_once, tech, scale, record):
             )
         )
 
-    payload = {"bench": "phase_profile", "candidate_limit": 16, "rows": rows}
-    (ROOT / "BENCH_phase_profile.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    payload = {"candidate_limit": 16, "rows": rows}
+    write_bench_json(ROOT / "BENCH_phase_profile.json", "phase_profile", payload)
     record("phase_profile", "\n\n".join(tables))

@@ -26,24 +26,36 @@ Subcommands
     rules REP001..REP007) over ``src/repro``.  Exit code 1 when
     findings are reported; ``--format json`` for machine-readable
     output, ``--update-baseline`` to grandfather current findings.
+``obs``
+    The run ledger and regression sentinel: ``obs list`` / ``obs
+    trend`` browse recorded runs, ``obs diff A B`` compares two
+    records with noise-aware thresholds, ``obs check --baseline REF``
+    gates the latest (or given) run against a committed baseline, and
+    ``obs selftest`` proves the sentinel catches planted regressions.
+    Exit code 1 when a regression is detected.
 
 Examples::
 
     gated-cts route --benchmark r1 --scale 0.4 --method reduced --svg out.svg
     gated-cts route --sinks my.sinks --isa my_isa.json --instr-trace my.trace
+    gated-cts route --benchmark r1 --ledger --profile-memory
     gated-cts compare --benchmark r2 --scale 0.4
     gated-cts sweep --benchmark r1 --scale 0.4 --points 6
     gated-cts study --spec studies/paper_fig3.json --out results.json
     gated-cts audit --tree out.json
     gated-cts audit --benchmark r1 --scale 0.2
     gated-cts lint --format json
+    gated-cts obs diff latest~1 latest
+    gated-cts obs check --baseline baselines/obs_r1_route.json \\
+        --sections pins,counters
 
-Exit codes: 0 success, 1 audit findings, 2 invalid input (typed
+Exit codes: 0 success, 1 findings (``audit``/``lint``) or detected
+regressions (``obs diff``/``obs check``), 2 invalid input (typed
 ``ReproError`` or ``OSError`` -- printed as one-line diagnostics, with
 the full traceback available under ``--log-level debug``).
 
-Observability (all subcommands)
--------------------------------
+Observability (all routing subcommands)
+---------------------------------------
 ``--trace OUT.json`` records a hierarchical span trace of the run and
 writes it as Chrome ``trace_event`` JSON (load in ``chrome://tracing``
 or Perfetto); a per-phase wall-clock table is printed as well.
@@ -51,6 +63,13 @@ or Perfetto); a per-phase wall-clock table is printed as well.
 ``--metrics-out OUT.json`` dumps the metrics registry (merger plan
 counters, oracle cache hits, star-edge histograms, ...), and
 ``--log-level debug`` surfaces the library's guarded debug logging.
+``--profile-memory`` attaches the tracemalloc sampler so every span
+(and the printed phase table) carries peak-heap / allocated-block
+columns.  ``--ledger [DIR]`` persists a content-addressed RunRecord
+(config digest, environment fingerprint, phase tree, metrics, result
+pins) into the run ledger (``.repro-runs/`` by default) for ``obs
+diff/trend/check``.  ``--progress-jsonl OUT.jsonl`` streams live
+phase-start/finish/percent events as JSON lines.
 """
 
 from __future__ import annotations
@@ -74,13 +93,16 @@ from repro.core.gate_reduction import GateReductionPolicy
 from repro.io.svg import save_svg
 from repro.io.treejson import save_tree
 from repro.obs import (
+    DEFAULT_LEDGER_DIR,
     DME_DETAIL_SPANS,
     LOG_LEVELS,
+    MetricsRegistry,
     configure_logging,
     disable_tracing,
     enable_tracing,
     get_registry,
     phase_profile,
+    set_registry,
     write_chrome_trace,
     write_metrics_json,
     write_spans_jsonl,
@@ -114,6 +136,27 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         default=None,
         choices=list(LOG_LEVELS),
         help="configure the repro logger (handlers installed once)",
+    )
+    group.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="attach the tracemalloc sampler: every span (and the "
+        "phase table) gains peak-heap and allocated-block columns",
+    )
+    group.add_argument(
+        "--ledger",
+        nargs="?",
+        const=DEFAULT_LEDGER_DIR,
+        default=None,
+        metavar="DIR",
+        help="persist a content-addressed RunRecord of this invocation "
+        "into the run ledger (default directory %s)" % DEFAULT_LEDGER_DIR,
+    )
+    group.add_argument(
+        "--progress-jsonl",
+        default=None,
+        metavar="OUT.jsonl",
+        help="stream live phase/percent progress events as JSON lines",
     )
 
 
@@ -234,6 +277,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         )
     if args.audit:
         print("audit: clean")
+    # Exposed so a --ledger RunRecord can pin the routed result.
+    args.run_pins = result.pins()
     print(result.summary())
     if args.out:
         save_tree(result.tree, args.out)
@@ -289,6 +334,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ),
     ]
     rows = [ComparisonRow.from_result(args.benchmark, r) for r in results]
+    # One pin set per method, namespaced, so a --ledger record of a
+    # compare run is diffable the same way a route record is.
+    args.run_pins = {
+        "%s.%s" % (result.method, key): value
+        for result in results
+        for key, value in result.pins().items()
+    }
     print(format_comparison(rows, title="Fig. 3 comparison (%s)" % args.benchmark))
     return 0
 
@@ -387,6 +439,134 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint_cli(args)
 
 
+def _thresholds_from(args: argparse.Namespace):
+    """CLI threshold knobs -> the sentinel's explicit noise model."""
+    from repro.obs import Thresholds
+
+    return Thresholds(
+        time_rel=args.time_rel,
+        time_floor_ns=int(args.time_floor_ms * 1e6),
+        mem_rel=args.mem_rel,
+        mem_floor_bytes=int(args.mem_floor_mb * 1024 * 1024),
+        counter_rel=args.counter_rel,
+    )
+
+
+def _sections_from(args: argparse.Namespace):
+    from repro.obs.sentinel import ALL_SECTIONS
+
+    if not args.sections:
+        return ALL_SECTIONS
+    return tuple(s.strip() for s in args.sections.split(",") if s.strip())
+
+
+def _cmd_obs_list(args: argparse.Namespace) -> int:
+    """All recorded runs in the ledger, oldest first."""
+    from repro.obs import RunLedger, format_trend
+
+    records = RunLedger(args.dir).records()
+    if not records:
+        print("run ledger %s is empty" % args.dir)
+        return 0
+    print(format_trend(records))
+    return 0
+
+
+def _cmd_obs_trend(args: argparse.Namespace) -> int:
+    """The last N records as a time series with selected pins."""
+    from repro.obs import RunLedger, format_trend
+
+    records = RunLedger(args.dir).records()
+    if not records:
+        print("run ledger %s is empty" % args.dir)
+        return 0
+    pins = tuple(p for p in args.pins.split(",") if p) if args.pins else ()
+    print(format_trend(records[-args.last :], pins=pins))
+    return 0
+
+
+def _run_diff(args, baseline_ref: str, current_ref: str) -> int:
+    """Shared engine of ``obs diff`` and ``obs check``: 0/1/2."""
+    from repro.obs import RunLedger, compare_runs
+
+    ledger = RunLedger(args.dir)
+    baseline = ledger.load(baseline_ref)
+    current = ledger.load(current_ref)
+    diff = compare_runs(
+        baseline,
+        current,
+        thresholds=_thresholds_from(args),
+        sections=_sections_from(args),
+    )
+    print(diff.report())
+    return diff.exit_code
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    return _run_diff(args, args.baseline_ref, args.current_ref)
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    return _run_diff(args, args.baseline, args.current)
+
+
+def _cmd_obs_selftest(args: argparse.Namespace) -> int:
+    """Prove the sentinel catches planted regressions: 0 ok, 1 broken."""
+    from repro.obs import self_test
+
+    ok, report = self_test(_thresholds_from(args))
+    print(report)
+    return 0 if ok else 1
+
+
+def _add_obs_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dir",
+        default=DEFAULT_LEDGER_DIR,
+        help="run-ledger directory (default %s)" % DEFAULT_LEDGER_DIR,
+    )
+
+
+def _add_thresholds(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("noise thresholds")
+    group.add_argument(
+        "--time-rel",
+        type=float,
+        default=1.5,
+        help="phase-time ratio above which slower is a regression",
+    )
+    group.add_argument(
+        "--time-floor-ms",
+        type=float,
+        default=50.0,
+        help="phases faster than this in both runs are never flagged",
+    )
+    group.add_argument(
+        "--mem-rel",
+        type=float,
+        default=1.5,
+        help="peak-heap ratio above which bigger is a regression",
+    )
+    group.add_argument(
+        "--mem-floor-mb",
+        type=float,
+        default=1.0,
+        help="peaks below this in both runs are never flagged",
+    )
+    group.add_argument(
+        "--counter-rel",
+        type=float,
+        default=0.25,
+        help="allowed two-sided relative drift of work counters",
+    )
+    group.add_argument(
+        "--sections",
+        default=None,
+        help="comma list from pins,time,memory,counters (default all); "
+        "cross-machine CI checks typically use pins,counters",
+    )
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.study import StudySpec, run_study
 
@@ -483,6 +663,66 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
 
+    p_obs = sub.add_parser(
+        "obs",
+        help="run ledger + regression sentinel (list/trend/diff/check/"
+        "selftest); exit 1 on detected regressions",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_list = obs_sub.add_parser("list", help="all recorded runs, oldest first")
+    _add_obs_store(p_list)
+    p_list.set_defaults(func=_cmd_obs_list)
+
+    p_trend = obs_sub.add_parser(
+        "trend", help="last N records as a time series with selected pins"
+    )
+    _add_obs_store(p_trend)
+    p_trend.add_argument("--last", type=int, default=10, help="records to show")
+    p_trend.add_argument(
+        "--pins",
+        default="wirelength,switched_cap_total",
+        help="comma list of pin columns to include ('' for none)",
+    )
+    p_trend.set_defaults(func=_cmd_obs_trend)
+
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two run records (refs: path, id prefix, latest~N)",
+    )
+    _add_obs_store(p_diff)
+    _add_thresholds(p_diff)
+    p_diff.add_argument("baseline_ref", help="baseline run reference")
+    p_diff.add_argument("current_ref", help="current run reference")
+    p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_check = obs_sub.add_parser(
+        "check",
+        help="gate a run against a baseline record (CI entry point)",
+    )
+    _add_obs_store(p_check)
+    _add_thresholds(p_check)
+    p_check.add_argument(
+        "--baseline",
+        required=True,
+        help="baseline reference (typically a committed RunRecord path)",
+    )
+    p_check.add_argument(
+        "current",
+        nargs="?",
+        default="latest",
+        help="current run reference (default: latest ledger record)",
+    )
+    p_check.set_defaults(func=_cmd_obs_check)
+
+    p_selftest = obs_sub.add_parser(
+        "selftest",
+        help="plant synthetic time/memory/counter/pin regressions and "
+        "verify the sentinel catches all of them",
+    )
+    _add_thresholds(p_selftest)
+    p_selftest.set_defaults(func=_cmd_obs_selftest)
+
     p_study = sub.add_parser("study", help="run a spec-driven campaign")
     _add_obs(p_study)
     p_study.add_argument("--spec", default=None, help="study spec JSON")
@@ -497,23 +737,94 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _ledger_config(args: argparse.Namespace) -> dict:
+    """The argparse namespace minus plumbing: what shaped the run."""
+    skip = {
+        "func",
+        "run_pins",
+        "trace",
+        "trace_jsonl",
+        "metrics_out",
+        "log_level",
+        "ledger",
+        "progress_jsonl",
+        "out",
+        "svg",
+    }
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in skip and not callable(value)
+    }
+
+
+def _record_run(args: argparse.Namespace, tracer, registry) -> None:
+    """Persist this invocation's RunRecord into the ledger."""
+    from repro.obs import RunLedger, record_from_trace
+
+    label = ":".join(
+        str(part)
+        for part in (
+            args.command,
+            getattr(args, "benchmark", None),
+            getattr(args, "method", None),
+        )
+        if part is not None
+    )
+    record = record_from_trace(
+        kind="cli",
+        label=label,
+        config=_ledger_config(args),
+        tracer=tracer,
+        pins=getattr(args, "run_pins", {}),
+        registry=registry,
+    )
+    path = RunLedger(args.ledger).save(record)
+    print("run record %s written to %s" % (record.run_id[:12], path))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.
 
-    Exit codes: 0 success, 1 audit findings (``audit`` subcommand),
-    2 invalid input -- every typed :class:`ReproError` (and ``OSError``
-    on file arguments) is rendered as a one-line diagnostic on stderr.
-    ``--log-level debug`` re-raises so the full traceback is visible.
+    Exit codes: 0 success, 1 findings (``audit``/``lint``) or detected
+    regressions (``obs diff``/``obs check``), 2 invalid input -- every
+    typed :class:`ReproError` (and ``OSError`` on file arguments) is
+    rendered as a one-line diagnostic on stderr.  ``--log-level
+    debug`` re-raises so the full traceback is visible.
     """
     args = build_parser().parse_args(argv)
-    if args.log_level is not None:
+    if getattr(args, "log_level", None) is not None:
         configure_logging(args.log_level)
-    tracing = args.trace is not None or args.trace_jsonl is not None
-    tracer = enable_tracing() if tracing else None
+    profile_memory = getattr(args, "profile_memory", False)
+    ledger_dir = getattr(args, "ledger", None)
+    progress_path = getattr(args, "progress_jsonl", None)
+    tracing = (
+        getattr(args, "trace", None) is not None
+        or getattr(args, "trace_jsonl", None) is not None
+        or profile_memory
+        or ledger_dir is not None
+        or progress_path is not None
+    )
+    tracer = enable_tracing(profile_memory=profile_memory) if tracing else None
+    registry = None
+    previous_registry = None
+    if tracer is not None:
+        # A fresh registry per traced invocation keeps RunRecords
+        # comparable: counters cover exactly this run, not whatever
+        # accumulated in the process before it (in-process callers,
+        # tests, future job-server workers).
+        registry = MetricsRegistry()
+        previous_registry = set_registry(registry)
+    progress_stream = None
+    if progress_path is not None:
+        from repro.obs import ProgressEmitter
+
+        progress_stream = open(progress_path, "w", encoding="utf-8")
+        tracer.set_listener(ProgressEmitter(stream=progress_stream))
     try:
         code = args.func(args)
     except (ReproError, OSError) as exc:
-        if args.log_level == "debug":
+        if getattr(args, "log_level", None) == "debug":
             raise
         kind = type(exc).__name__
         message = exc.diagnostic() if isinstance(exc, ReproError) else str(exc)
@@ -521,21 +832,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     finally:
         if tracer is not None:
-            disable_tracing()
+            disable_tracing()  # also stops an attached memory sampler
+            if previous_registry is not None:
+                set_registry(previous_registry)
+        if progress_stream is not None:
+            progress_stream.close()
     if tracer is not None:
-        if args.trace:
+        if getattr(args, "trace", None):
             write_chrome_trace(tracer.spans, args.trace)
             print("span trace written to %s" % args.trace)
-        if args.trace_jsonl:
+        if getattr(args, "trace_jsonl", None):
             write_spans_jsonl(tracer.spans, args.trace_jsonl)
             print("span log written to %s" % args.trace_jsonl)
+        if progress_path is not None:
+            print("progress events written to %s" % progress_path)
+        if ledger_dir is not None:
+            # Assembled after the root span closed and tracing was
+            # torn down, so the ledger's own work never pollutes the
+            # timings (or memory peaks) it records.
+            _record_run(args, tracer, registry)
         print(
             format_phase_times(
                 phase_profile(tracer.spans, detail_names=DME_DETAIL_SPANS)
             )
         )
-    if args.metrics_out:
-        write_metrics_json(get_registry(), args.metrics_out)
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(registry or get_registry(), args.metrics_out)
         print("metrics written to %s" % args.metrics_out)
     return code
 

@@ -73,6 +73,30 @@ class ClockRoutingResult:
         """Fraction of gate sites left empty (Fig. 5 x-axis)."""
         return reduction_fraction(self.gate_count, self.num_sinks)
 
+    def pins(self) -> dict:
+        """The exact result pins a :class:`~repro.obs.ledger.RunRecord`
+        persists.
+
+        Pins are the regression contract: the sentinel compares them
+        byte-for-byte (through their canonical JSON encoding), so this
+        dict must contain only values that are deterministic for a
+        fixed (sinks, tech, workload, flags) configuration -- floats
+        land unrounded.
+        """
+        return {
+            "method": self.method,
+            "num_sinks": self.num_sinks,
+            "gate_count": self.gate_count,
+            "cell_count": self.cell_count,
+            "wirelength": self.wirelength,
+            "switched_cap_total": self.switched_cap.total,
+            "switched_cap_clock": self.switched_cap.clock_tree,
+            "switched_cap_controller": self.switched_cap.controller_tree,
+            "area_total": self.area.total,
+            "skew": self.skew,
+            "phase_delay": self.phase_delay,
+        }
+
     def summary(self) -> str:
         """One-line human-readable digest."""
         return (

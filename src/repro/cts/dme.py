@@ -1114,6 +1114,12 @@ class BottomUpMerger:
             )
             registry.counter("dme.init_best.runs").inc()
             with tracer.span("dme.merge_loop"):
+                # The loop knows its exact extent (N-1 merges), which is
+                # what makes the progress stream's percent estimate
+                # monotonic instead of guessed; tracer.progress is one
+                # attribute test when no listener is attached.
+                total_merges = len(self._active) - 1
+                merges_done = 0
                 while len(self._active) > 1:
                     a_id, b_id = self._pop_valid_pair()
                     plan = self._plan_pair(a_id, b_id)
@@ -1126,6 +1132,8 @@ class BottomUpMerger:
                             if current is None or current[1] not in self._active:
                                 self.stats.orphan_recomputes += 1
                                 self._recompute_best(orphan)
+                    merges_done += 1
+                    tracer.progress(merges_done, total_merges)
             (root,) = self._active
             self.tree.set_root(root)
             with tracer.span("dme.embed"):

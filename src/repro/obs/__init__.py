@@ -1,6 +1,7 @@
 """Observability for the routing flow: spans, metrics, exporters.
 
-Three layers (see ``DESIGN.md``, section "Observability"):
+Two layers (see ``DESIGN.md``, sections "Observability" and "Run
+ledger & regression sentinel"):
 
 * :mod:`repro.obs.tracer` -- hierarchical span tracing
   (``phase.subphase`` naming, ``perf_counter_ns`` timing, process
@@ -8,9 +9,18 @@ Three layers (see ``DESIGN.md``, section "Observability"):
 * :mod:`repro.obs.metrics` -- named counters / gauges / histograms the
   subsystem stat structs publish into;
 * :mod:`repro.obs.export` -- JSONL span log, Chrome ``trace_event``
-  JSON, per-phase wall-clock profiles;
+  JSON, per-phase wall-clock (and memory) profiles;
 * :mod:`repro.obs.logconfig` -- one-shot ``repro`` logger setup for
-  the CLI's ``--log-level``.
+  the CLI's ``--log-level``;
+* :mod:`repro.obs.memory` -- opt-in per-span tracemalloc/RSS sampling;
+* :mod:`repro.obs.jsonio` -- the one JSON policy bench artifacts and
+  run records share (schema key, float rounding, content digests);
+* :mod:`repro.obs.ledger` -- content-addressed :class:`RunRecord`
+  store under ``.repro-runs/``;
+* :mod:`repro.obs.sentinel` -- noise-aware RunRecord diffing behind
+  ``gated-cts obs diff/trend/check``;
+* :mod:`repro.obs.progress` -- phase start/finish + percent-complete
+  event stream for live consumers.
 """
 
 from repro.obs.export import (
@@ -29,7 +39,24 @@ from repro.obs.instrument import (
     publish_merger_stats,
     publish_oracle_cache,
 )
+from repro.obs.jsonio import (
+    SCHEMA_KEY,
+    SCHEMA_VERSION,
+    canonical_dumps,
+    content_digest,
+    load_json,
+    write_bench_json,
+    write_json,
+)
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    RunLedger,
+    RunRecord,
+    environment_fingerprint,
+    record_from_trace,
+)
 from repro.obs.logconfig import LOG_LEVELS, configure_logging
+from repro.obs.memory import MemorySampler, peak_rss_bytes, span_memory_attrs
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,6 +64,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     set_registry,
+)
+from repro.obs.progress import (
+    DEFAULT_PHASE_WEIGHTS,
+    ProgressEmitter,
+    ProgressEvent,
+)
+from repro.obs.sentinel import (
+    RunDiff,
+    Thresholds,
+    compare_runs,
+    format_trend,
+    self_test,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -52,32 +91,55 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_LEDGER_DIR",
+    "DEFAULT_PHASE_WEIGHTS",
     "DME_DETAIL_SPANS",
     "Gauge",
     "Histogram",
     "LOG_LEVELS",
+    "MemorySampler",
     "MetricsRegistry",
     "NULL_SPAN",
     "PhaseProfile",
     "PhaseRow",
+    "ProgressEmitter",
+    "ProgressEvent",
+    "RunDiff",
+    "RunLedger",
+    "RunRecord",
+    "SCHEMA_KEY",
+    "SCHEMA_VERSION",
     "Span",
     "SpanRecord",
+    "Thresholds",
     "Tracer",
+    "canonical_dumps",
     "chrome_trace",
+    "compare_runs",
     "configure_logging",
+    "content_digest",
     "disable_tracing",
     "enable_tracing",
+    "environment_fingerprint",
+    "format_trend",
     "get_registry",
     "get_tracer",
+    "load_json",
+    "peak_rss_bytes",
     "phase_profile",
     "phase_span",
     "publish_index_stats",
     "publish_merger_stats",
     "publish_oracle_cache",
+    "record_from_trace",
+    "self_test",
     "set_registry",
     "set_tracer",
+    "span_memory_attrs",
     "spans_to_jsonl",
+    "write_bench_json",
     "write_chrome_trace",
+    "write_json",
     "write_metrics_json",
     "write_spans_jsonl",
 ]

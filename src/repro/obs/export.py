@@ -95,15 +95,24 @@ class PhaseRow:
     total_ns: int
     fraction: float
     """Share of the root span(s) total; 0 when there is no root."""
+    mem_peak_bytes: Optional[int] = None
+    """Largest per-span heap peak among the phase's spans; only set
+    when the trace was recorded with a memory sampler attached."""
+    mem_alloc_blocks: Optional[int] = None
+    """Summed net allocated-block delta across the phase's spans."""
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "count": self.count,
             "total_ns": self.total_ns,
             "total_s": self.total_ns / 1e9,
             "fraction": self.fraction,
         }
+        if self.mem_peak_bytes is not None:
+            out["mem_peak_bytes"] = self.mem_peak_bytes
+            out["mem_alloc_blocks"] = self.mem_alloc_blocks
+        return out
 
 
 @dataclass(frozen=True)
@@ -117,11 +126,20 @@ class PhaseProfile:
     """Totals of explicitly requested sub-phase names found at *any*
     depth under the roots (see ``phase_profile``'s ``detail_names``);
     nested inside ``rows`` entries, so excluded from ``covered_ns``."""
+    root_mem_peak_bytes: Optional[int] = None
+    """Largest root-span heap peak (memory-sampled traces only)."""
 
     @property
     def coverage(self) -> float:
         """Fraction of root wall-clock covered by depth-1 spans."""
         return self.covered_ns / self.root_ns if self.root_ns else 0.0
+
+    @property
+    def has_memory(self) -> bool:
+        """Was the trace recorded with a memory sampler attached?"""
+        return self.root_mem_peak_bytes is not None or any(
+            r.mem_peak_bytes is not None for r in self.rows
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         out = {
@@ -133,6 +151,8 @@ class PhaseProfile:
         }
         if self.detail_rows:
             out["detail"] = [r.as_dict() for r in self.detail_rows]
+        if self.root_mem_peak_bytes is not None:
+            out["root_mem_peak_bytes"] = self.root_mem_peak_bytes
         return out
 
 
@@ -141,6 +161,44 @@ class PhaseProfile:
 #: ``topology.*`` -> ``dme.merge``), so the depth-1 aggregation alone
 #: cannot regress them independently.
 DME_DETAIL_SPANS = ("dme.init_best", "dme.merge_loop", "dme.embed")
+
+
+class _PhaseAgg:
+    """Accumulator behind one :class:`PhaseRow`.
+
+    Memory columns only materialize when at least one span of the
+    phase carries them (i.e. the trace was memory-sampled): the peak
+    aggregates as a max (spans of one phase run sequentially, so the
+    phase's high-water mark is its worst span), the block delta as a
+    sum.
+    """
+
+    __slots__ = ("count", "total_ns", "mem_peak", "mem_blocks")
+
+    def __init__(self):
+        self.count = 0
+        self.total_ns = 0
+        self.mem_peak: Optional[int] = None
+        self.mem_blocks: Optional[int] = None
+
+    def add(self, span: SpanRecord) -> None:
+        self.count += 1
+        self.total_ns += span.duration_ns
+        peak = span.attrs.get("mem_peak_bytes")
+        if peak is not None:
+            self.mem_peak = peak if self.mem_peak is None else max(self.mem_peak, peak)
+            blocks = span.attrs.get("mem_alloc_blocks", 0)
+            self.mem_blocks = (self.mem_blocks or 0) + blocks
+
+    def row(self, name: str, root_ns: int) -> PhaseRow:
+        return PhaseRow(
+            name=name,
+            count=self.count,
+            total_ns=self.total_ns,
+            fraction=(self.total_ns / root_ns) if root_ns else 0.0,
+            mem_peak_bytes=self.mem_peak,
+            mem_alloc_blocks=self.mem_blocks,
+        )
 
 
 def phase_profile(
@@ -168,30 +226,26 @@ def phase_profile(
     ]
     root_ids = {s.span_id for s in roots}
     root_ns = sum(s.duration_ns for s in roots)
-    totals: Dict[str, List[int]] = {}
+    root_peaks = [
+        s.attrs["mem_peak_bytes"] for s in roots if "mem_peak_bytes" in s.attrs
+    ]
+    totals: Dict[str, _PhaseAgg] = {}
     order: Dict[str, int] = {}
     for span in spans:
         if span.parent_id not in root_ids:
             continue
-        bucket = totals.setdefault(span.name, [0, 0])
-        bucket[0] += 1
-        bucket[1] += span.duration_ns
+        totals.setdefault(span.name, _PhaseAgg()).add(span)
         order.setdefault(span.name, span.start_ns)
-    covered = sum(t[1] for t in totals.values())
+    covered = sum(agg.total_ns for agg in totals.values())
     rows = [
-        PhaseRow(
-            name=name,
-            count=totals[name][0],
-            total_ns=totals[name][1],
-            fraction=(totals[name][1] / root_ns) if root_ns else 0.0,
-        )
+        totals[name].row(name, root_ns)
         for name in sorted(totals, key=lambda n: order[n])
     ]
     detail_rows: List[PhaseRow] = []
     if detail_names:
         wanted = set(detail_names)
         by_id = {s.span_id: s for s in spans}
-        d_totals: Dict[str, List[int]] = {}
+        d_totals: Dict[str, _PhaseAgg] = {}
         d_order: Dict[str, int] = {}
         for span in spans:
             if span.name not in wanted:
@@ -201,21 +255,18 @@ def phase_profile(
                 parent = by_id[parent].parent_id if parent in by_id else None
             if parent not in root_ids:
                 continue
-            bucket = d_totals.setdefault(span.name, [0, 0])
-            bucket[0] += 1
-            bucket[1] += span.duration_ns
+            d_totals.setdefault(span.name, _PhaseAgg()).add(span)
             d_order.setdefault(span.name, span.start_ns)
         detail_rows = [
-            PhaseRow(
-                name=name,
-                count=d_totals[name][0],
-                total_ns=d_totals[name][1],
-                fraction=(d_totals[name][1] / root_ns) if root_ns else 0.0,
-            )
+            d_totals[name].row(name, root_ns)
             for name in sorted(d_totals, key=lambda n: d_order[n])
         ]
     return PhaseProfile(
-        rows=rows, root_ns=root_ns, covered_ns=covered, detail_rows=detail_rows
+        rows=rows,
+        root_ns=root_ns,
+        covered_ns=covered,
+        detail_rows=detail_rows,
+        root_mem_peak_bytes=max(root_peaks) if root_peaks else None,
     )
 
 

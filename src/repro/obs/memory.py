@@ -1,0 +1,140 @@
+"""Per-span memory profiling: tracemalloc peaks and block-count deltas.
+
+A :class:`MemorySampler` attached to a tracer (``Tracer.set_sampler``)
+annotates every finished span with three columns:
+
+* ``mem_peak_bytes`` -- peak Python-heap growth *during* the span,
+  relative to the heap size at span entry (``tracemalloc`` peak,
+  propagated correctly through nesting: a child's spike is visible in
+  every open ancestor);
+* ``mem_net_bytes`` -- heap growth that survived the span (negative
+  when the span freed more than it allocated);
+* ``mem_alloc_blocks`` -- net allocated-block delta from
+  ``sys.getallocatedblocks()``, a cheap O(1) allocation-pressure
+  proxy.
+
+The sampler is **off by default** everywhere: ``tracemalloc`` roughly
+doubles allocation cost process-wide, so the flows only pay for it
+when the CLI's ``--profile-memory`` (or a bench) opts in.  When no
+sampler is installed the per-span cost is one ``None`` test.
+
+``tracemalloc.reset_peak()`` only tracks one global peak, so nesting
+is handled here: on every push/pop the current hardware peak is folded
+into *all* open frames before the peak register is reset, making each
+frame's recorded peak the maximum over every interval of its lifetime.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Any, Dict, List, Optional
+
+#: Span-attribute keys the sampler writes (also the phase-profile and
+#: RunRecord column names).
+ATTR_PEAK = "mem_peak_bytes"
+ATTR_NET = "mem_net_bytes"
+ATTR_BLOCKS = "mem_alloc_blocks"
+
+MEMORY_ATTRS = (ATTR_PEAK, ATTR_NET, ATTR_BLOCKS)
+
+
+class _Frame:
+    """One open span's memory bookkeeping."""
+
+    __slots__ = ("start_bytes", "start_blocks", "peak_bytes")
+
+    def __init__(self, start_bytes: int, start_blocks: int):
+        self.start_bytes = start_bytes
+        self.start_blocks = start_blocks
+        self.peak_bytes = start_bytes
+
+
+class MemorySampler:
+    """Attaches peak/net heap columns to spans via tracemalloc.
+
+    Use :meth:`start` / :meth:`stop` around the profiled region (the
+    CLI does this for the whole invocation); the tracer calls
+    :meth:`push` / :meth:`pop` from the span context managers.
+    """
+
+    def __init__(self) -> None:
+        self._frames: List[_Frame] = []
+        self._owns_tracemalloc = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "MemorySampler":
+        """Begin tracing allocations (idempotent; chainable)."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+        return self
+
+    def stop(self) -> None:
+        """Stop tracing if this sampler started it."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracemalloc = False
+        self._frames.clear()
+
+    @property
+    def active(self) -> bool:
+        return tracemalloc.is_tracing()
+
+    # -- span hooks -----------------------------------------------------
+    def push(self) -> Optional[_Frame]:
+        """Open a frame at span entry; returns the pop token."""
+        if not tracemalloc.is_tracing():
+            return None
+        current, peak = tracemalloc.get_traced_memory()
+        for frame in self._frames:
+            if peak > frame.peak_bytes:
+                frame.peak_bytes = peak
+        tracemalloc.reset_peak()
+        frame = _Frame(current, sys.getallocatedblocks())
+        self._frames.append(frame)
+        return frame
+
+    def pop(self, frame: Optional[_Frame]) -> Dict[str, int]:
+        """Close ``frame``; returns the span's memory attributes."""
+        if frame is None:
+            return {}
+        current, peak = tracemalloc.get_traced_memory()
+        for open_frame in self._frames:
+            if peak > open_frame.peak_bytes:
+                open_frame.peak_bytes = peak
+        tracemalloc.reset_peak()
+        # Mirror the tracer's out-of-order tolerance: drop leaked inner
+        # frames so the stack cannot grow without bound.
+        while self._frames and self._frames[-1] is not frame:
+            self._frames.pop()
+        if self._frames:
+            self._frames.pop()
+        return {
+            ATTR_PEAK: max(0, frame.peak_bytes - frame.start_bytes),
+            ATTR_NET: current - frame.start_bytes,
+            ATTR_BLOCKS: sys.getallocatedblocks() - frame.start_blocks,
+        }
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Process-lifetime peak RSS in bytes (``None`` where unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalized to bytes here.  This is a *process* high-water mark --
+    it never decreases -- so it belongs on run-level records, not on
+    individual spans.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(rss)
+    return int(rss) * 1024
+
+
+def span_memory_attrs(attrs: Dict[str, Any]) -> Dict[str, int]:
+    """The memory columns present in one span's attribute dict."""
+    return {key: attrs[key] for key in MEMORY_ATTRS if key in attrs}

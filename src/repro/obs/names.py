@@ -61,6 +61,10 @@ METRIC_NAMES = frozenset(
         "dme.init_best.runs",
         "dme.init_best.seconds",
         "gating.gates_pruned",
+        "ledger.runs_recorded",
+        "progress.events_emitted",
+        "sentinel.comparisons",
+        "sentinel.regressions_found",
         "sim.cycles_replayed",
         "sizing.engaged",
         "sizing.resized",
@@ -71,6 +75,18 @@ METRIC_NAMES = frozenset(
 #: ``dme.*`` carries :meth:`MergerStats.snapshot` keys, ``oracle.*``
 #: the per-method LRU hit/miss/currsize gauges.
 METRIC_PREFIXES = ("dme.", "oracle.")
+
+#: Every progress-event name the tracer listener layer emits (see
+#: :mod:`repro.obs.progress`).  Events follow the same dotted
+#: convention as spans/metrics; the ``progress.`` family is closed --
+#: a new event kind must be added here and to the emitter.
+EVENT_NAMES = frozenset(
+    {
+        "progress.phase_start",
+        "progress.phase_finish",
+        "progress.update",
+    }
+)
 
 
 def is_valid_name(name: str) -> bool:
@@ -86,3 +102,8 @@ def span_name_known(name: str) -> bool:
 def metric_name_known(name: str) -> bool:
     """Is a concrete metric name covered by the catalog?"""
     return name in METRIC_NAMES or name.startswith(METRIC_PREFIXES)
+
+
+def event_name_known(name: str) -> bool:
+    """Is a progress-event name covered by the catalog?"""
+    return name in EVENT_NAMES

@@ -1,0 +1,194 @@
+"""Live progress events from a traced run: the future job server's feed.
+
+A :class:`ProgressEmitter` attached to a tracer
+(``Tracer.set_listener``) turns span starts/ends and in-loop progress
+reports into a stream of :class:`ProgressEvent`\\ s with a
+**monotonically non-decreasing** percent-complete estimate:
+
+* each known top-level phase carries a weight (fraction of a typical
+  gated flow, measured from ``BENCH_phase_profile.json``);
+* finishing a weighted phase advances the completed fraction by its
+  weight;
+* *within* a phase, ``Tracer.progress(done, total)`` interpolates --
+  the merge loop knows exactly how many merges remain, so the dominant
+  ``topology.gated`` phase progresses smoothly instead of jumping
+  0 -> 85%;
+* estimates are clamped to be monotonic, so a consumer can render a
+  progress bar without ever stepping backwards, and reach exactly 1.0
+  when a root span finishes.
+
+Events go to an optional callback and/or a JSONL stream (one event per
+line), which is the hook the async ``gated-cts serve`` front end will
+forward to users; the CLI exposes it today as ``--progress-jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import get_registry
+
+#: Event names (catalogued in :mod:`repro.obs.names`).
+EVENT_PHASE_START = "progress.phase_start"
+EVENT_PHASE_FINISH = "progress.phase_finish"
+EVENT_UPDATE = "progress.update"
+
+#: Phase weights of a typical gated flow (fractions of root wall-clock,
+#: from the committed ``BENCH_phase_profile.json``).  Unknown phases
+#: weigh nothing -- they still emit start/finish events, they just do
+#: not move the percent estimate.
+DEFAULT_PHASE_WEIGHTS: Dict[str, float] = {
+    "topology.gated": 0.85,
+    "topology.buffered": 0.85,
+    "gating.reduce": 0.02,
+    "controller.star": 0.04,
+    "flow.measure": 0.06,
+    "flow.audit": 0.03,
+}
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress observation, JSONL-serializable."""
+
+    event: str
+    name: str
+    t_ns: int
+    percent: float
+    done: Optional[int] = None
+    total: Optional[int] = None
+    duration_ns: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "event": self.event,
+            "name": self.name,
+            "t_ns": self.t_ns,
+            "percent": self.percent,
+        }
+        if self.done is not None:
+            out["done"] = self.done
+            out["total"] = self.total
+        if self.duration_ns is not None:
+            out["duration_ns"] = self.duration_ns
+        return out
+
+
+class ProgressEmitter:
+    """Tracer listener producing a monotonic percent-complete stream.
+
+    Parameters
+    ----------
+    callback:
+        Called with each :class:`ProgressEvent` as it happens.
+    stream:
+        A writable text file object; each event is appended as one
+        JSON line (flushed per event, so a tail-reader sees it live).
+    weights:
+        Phase-name -> fraction-of-root map; see
+        :data:`DEFAULT_PHASE_WEIGHTS`.
+    min_update_step:
+        Percent resolution of ``progress.update`` events: in-phase
+        reports that move the estimate by less than this are counted
+        but not emitted, which keeps a 3000-merge loop from writing
+        3000 lines.
+    clock:
+        Timestamp source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        callback: Optional[Callable[[ProgressEvent], None]] = None,
+        stream=None,
+        weights: Optional[Dict[str, float]] = None,
+        min_update_step: float = 0.01,
+        clock=time.perf_counter_ns,
+    ):
+        self._callback = callback
+        self._stream = stream
+        self._weights = DEFAULT_PHASE_WEIGHTS if weights is None else weights
+        self._min_step = min_update_step
+        self._clock = clock
+        self._completed = 0.0
+        self._percent = 0.0
+        self._last_emitted_update = -1.0
+        self._open: List[str] = []
+        self.events: List[ProgressEvent] = []
+
+    # -- tracer listener protocol --------------------------------------
+    def on_span_start(self, span) -> None:
+        self._open.append(span.name)
+        self._emit(EVENT_PHASE_START, span.name)
+
+    def on_span_end(self, record) -> None:
+        # Tolerate out-of-order closes exactly like the span stack.
+        while self._open and self._open[-1] != record.name:
+            self._open.pop()
+        if self._open:
+            self._open.pop()
+        weight = self._weights.get(record.name, 0.0)
+        if weight:
+            self._completed = min(1.0, self._completed + weight)
+            self._bump(self._completed)
+        if not self._open:
+            # A root span closed: the run (or this flow) is done.
+            self._completed = 1.0
+            self._bump(1.0)
+        self._emit(
+            EVENT_PHASE_FINISH, record.name, duration_ns=record.duration_ns
+        )
+
+    def on_progress(self, name: Optional[str], done: int, total: int) -> None:
+        if total <= 0:
+            return
+        fraction = min(1.0, max(0.0, done / total))
+        weight = 0.0
+        for open_name in reversed(self._open):
+            weight = self._weights.get(open_name, 0.0)
+            if weight:
+                break
+        self._bump(self._completed + weight * fraction)
+        if (
+            self._percent - self._last_emitted_update >= self._min_step
+            or fraction >= 1.0
+        ):
+            self._last_emitted_update = self._percent
+            self._emit(EVENT_UPDATE, name or "", done=done, total=total)
+
+    # -- internals ------------------------------------------------------
+    @property
+    def percent(self) -> float:
+        """The current monotonic percent-complete estimate in [0, 1]."""
+        return self._percent
+
+    def _bump(self, candidate: float) -> None:
+        if candidate > self._percent:
+            self._percent = min(1.0, candidate)
+
+    def _emit(
+        self,
+        event: str,
+        name: str,
+        done: Optional[int] = None,
+        total: Optional[int] = None,
+        duration_ns: Optional[int] = None,
+    ) -> None:
+        record = ProgressEvent(
+            event=event,
+            name=name,
+            t_ns=self._clock(),
+            percent=self._percent,
+            done=done,
+            total=total,
+            duration_ns=duration_ns,
+        )
+        self.events.append(record)
+        get_registry().counter("progress.events_emitted").inc()
+        if self._callback is not None:
+            self._callback(record)
+        if self._stream is not None:
+            self._stream.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+            self._stream.flush()

@@ -1,0 +1,437 @@
+"""The performance-regression sentinel: noise-aware RunRecord diffs.
+
+:func:`compare_runs` lines two :class:`~repro.obs.ledger.RunRecord`\\ s
+up section by section and emits one-line findings in the style of the
+``repro.check`` diagnostics:
+
+* **pins** -- result pins must match *exactly* (compared through their
+  canonical JSON encoding, so no float ``==`` and no tolerance: a pin
+  that moved is a correctness event, not noise);
+* **time** -- per-phase wall-clock ratios, gated by a relative
+  threshold *and* an absolute floor (a 2x blowup of a 2 ms phase is
+  scheduler noise; a 2x blowup of a 2 s phase is a regression);
+* **memory** -- per-phase and root peak-heap ratios, same model;
+* **counters** -- work counters (``dme.plans_computed``,
+  ``dme.kernel_batches``, ...) with a tight relative band in both
+  directions: the merger doing 30% more *or* fewer plans than the
+  baseline means the algorithm changed, which a wall-clock threshold
+  on a different machine would miss.
+
+The noise model is deliberately simple and explicit (threshold +
+floor per section) rather than statistical: records carry single runs,
+not distributions, and the thresholds are CLI-overridable where a
+calibrated environment (CI re-running its own baseline) can afford
+tighter bands.
+
+Exit-code contract (``gated-cts obs diff/check``): 0 clean (improved
+is clean), 1 at least one regression, 2 invalid input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.errors import InputError
+from repro.obs.jsonio import canonical_dumps
+from repro.obs.ledger import RunRecord
+from repro.obs.metrics import get_registry
+
+#: Sections a comparison may cover, in report order.
+ALL_SECTIONS = ("pins", "time", "memory", "counters")
+
+#: Statuses that make a diff fail (exit 1).
+FAILING = ("regression", "pin-mismatch")
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """The explicit noise model of one comparison."""
+
+    time_rel: float = 1.5
+    """Phase (and root) time ratio above which slower -> regression."""
+    time_floor_ns: int = 50_000_000
+    """Phases faster than this in *both* runs are never flagged."""
+    mem_rel: float = 1.5
+    """Peak-heap ratio above which bigger -> regression."""
+    mem_floor_bytes: int = 1_000_000
+    """Peaks below this in both runs are never flagged."""
+    counter_rel: float = 0.25
+    """Counters may drift this fraction in either direction."""
+    counter_floor: int = 32
+    """Counters at or below this in both runs are never flagged."""
+
+    def __post_init__(self):
+        if self.time_rel <= 1.0 or self.mem_rel <= 1.0:
+            raise InputError(
+                "ratio thresholds must be > 1.0", field="thresholds"
+            )
+        if self.counter_rel < 0.0:
+            raise InputError(
+                "counter_rel must be >= 0", field="thresholds"
+            )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compared quantity and its verdict."""
+
+    section: str
+    name: str
+    status: str
+    """``ok`` | ``improved`` | ``regression`` | ``pin-mismatch`` |
+    ``new`` | ``missing``"""
+    baseline: Any = None
+    current: Any = None
+    ratio: Optional[float] = None
+    message: str = ""
+
+    @property
+    def failing(self) -> bool:
+        return self.status in FAILING
+
+    def line(self) -> str:
+        """The one-line ``repro.check``-style diagnostic."""
+        tag = self.status.upper()
+        core = "obs.check: %-12s [%s] %s" % (tag, self.section, self.name)
+        if self.message:
+            core += ": %s" % self.message
+        return core
+
+
+@dataclass
+class RunDiff:
+    """The full comparison of two run records."""
+
+    baseline_id: str
+    current_id: str
+    sections: Tuple[str, ...]
+    thresholds: Thresholds
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.failing]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def notable(self) -> List[Finding]:
+        """Everything except silent ``ok`` rows."""
+        return [f for f in self.findings if f.status != "ok"]
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.status] = counts.get(finding.status, 0) + 1
+        parts = ["%d %s" % (counts[k], k) for k in sorted(counts)]
+        verdict = "clean" if self.ok else "REGRESSED"
+        return "obs.check: %s  (%s; %d compared)  %s -> %s" % (
+            verdict,
+            ", ".join(parts) if parts else "nothing compared",
+            len(self.findings),
+            self.baseline_id[:12],
+            self.current_id[:12],
+        )
+
+    def report(self) -> str:
+        lines = [f.line() for f in self.notable()]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+def _fmt_ns(ns: float) -> str:
+    return "%.4gs" % (ns / 1e9)
+
+
+def _fmt_bytes(n: float) -> str:
+    return "%.4gMiB" % (n / (1024.0 * 1024.0))
+
+
+def _ratio(baseline: float, current: float) -> Optional[float]:
+    return (current / baseline) if baseline > 0 else None
+
+
+def _compare_scalar(
+    section: str,
+    name: str,
+    baseline: float,
+    current: float,
+    rel: float,
+    floor: float,
+    fmt,
+) -> Finding:
+    """Ratio-vs-threshold verdict for one timed/sized quantity."""
+    if baseline <= floor and current <= floor:
+        return Finding(section, name, "ok", baseline, current)
+    ratio = _ratio(baseline, current)
+    message = "%s -> %s" % (fmt(baseline), fmt(current))
+    if ratio is not None:
+        message += " (%.2fx, threshold %.2fx)" % (ratio, rel)
+    if ratio is None or ratio > rel:
+        return Finding(section, name, "regression", baseline, current, ratio, message)
+    if ratio < 1.0 / rel:
+        return Finding(section, name, "improved", baseline, current, ratio, message)
+    return Finding(section, name, "ok", baseline, current, ratio)
+
+
+def _compare_pins(baseline: RunRecord, current: RunRecord) -> Iterable[Finding]:
+    names = sorted(set(baseline.pins) | set(current.pins))
+    for name in names:
+        if name not in current.pins:
+            yield Finding(
+                "pins", name, "missing", baseline.pins[name], None,
+                message="pin dropped from current run",
+            )
+            continue
+        if name not in baseline.pins:
+            yield Finding(
+                "pins", name, "new", None, current.pins[name],
+                message="pin absent from baseline",
+            )
+            continue
+        base, cur = baseline.pins[name], current.pins[name]
+        if canonical_dumps(base) == canonical_dumps(cur):
+            yield Finding("pins", name, "ok", base, cur)
+        else:
+            yield Finding(
+                "pins", name, "pin-mismatch", base, cur,
+                message="%r -> %r (pins must be byte-identical)" % (base, cur),
+            )
+
+
+def _compare_time(
+    baseline: RunRecord, current: RunRecord, t: Thresholds
+) -> Iterable[Finding]:
+    yield _compare_scalar(
+        "time", "(root)", baseline.root_ns, current.root_ns,
+        t.time_rel, t.time_floor_ns, _fmt_ns,
+    )
+    base_rows, cur_rows = baseline.phase_rows(), current.phase_rows()
+    for name in sorted(set(base_rows) | set(cur_rows)):
+        if name not in cur_rows:
+            yield Finding("time", name, "missing", message="phase vanished")
+            continue
+        if name not in base_rows:
+            yield Finding("time", name, "new", message="phase not in baseline")
+            continue
+        yield _compare_scalar(
+            "time", name,
+            base_rows[name]["total_ns"], cur_rows[name]["total_ns"],
+            t.time_rel, t.time_floor_ns, _fmt_ns,
+        )
+
+
+def _compare_memory(
+    baseline: RunRecord, current: RunRecord, t: Thresholds
+) -> Iterable[Finding]:
+    base_root, cur_root = baseline.root_mem_peak_bytes, current.root_mem_peak_bytes
+    if base_root is not None and cur_root is not None:
+        yield _compare_scalar(
+            "memory", "(root)", base_root, cur_root,
+            t.mem_rel, t.mem_floor_bytes, _fmt_bytes,
+        )
+    base_rows, cur_rows = baseline.phase_rows(), current.phase_rows()
+    for name in sorted(set(base_rows) & set(cur_rows)):
+        base_peak = base_rows[name].get("mem_peak_bytes")
+        cur_peak = cur_rows[name].get("mem_peak_bytes")
+        if base_peak is None or cur_peak is None:
+            continue
+        yield _compare_scalar(
+            "memory", name, base_peak, cur_peak,
+            t.mem_rel, t.mem_floor_bytes, _fmt_bytes,
+        )
+
+
+def _compare_counters(
+    baseline: RunRecord, current: RunRecord, t: Thresholds
+) -> Iterable[Finding]:
+    base_c, cur_c = baseline.counters(), current.counters()
+    for name in sorted(set(base_c) & set(cur_c)):
+        base, cur = base_c[name], cur_c[name]
+        if base <= t.counter_floor and cur <= t.counter_floor:
+            yield Finding("counters", name, "ok", base, cur)
+            continue
+        low = base * (1.0 - t.counter_rel)
+        high = base * (1.0 + t.counter_rel)
+        if low <= cur <= high:
+            yield Finding(
+                "counters", name, "ok", base, cur, _ratio(base, cur)
+            )
+        else:
+            yield Finding(
+                "counters", name, "regression", base, cur, _ratio(base, cur),
+                message="%d -> %d (allowed %d..%d)"
+                % (base, cur, int(low), int(high)),
+            )
+
+
+def compare_runs(
+    baseline: RunRecord,
+    current: RunRecord,
+    thresholds: Optional[Thresholds] = None,
+    sections: Sequence[str] = ALL_SECTIONS,
+) -> RunDiff:
+    """Compare two run records; see the module docstring for the model."""
+    thresholds = thresholds or Thresholds()
+    for section in sections:
+        if section not in ALL_SECTIONS:
+            raise InputError(
+                "unknown diff section %r (choose from %s)"
+                % (section, ", ".join(ALL_SECTIONS)),
+                field="sections",
+            )
+    diff = RunDiff(
+        baseline_id=baseline.run_id,
+        current_id=current.run_id,
+        sections=tuple(sections),
+        thresholds=thresholds,
+    )
+    if "pins" in sections:
+        diff.findings.extend(_compare_pins(baseline, current))
+    if "time" in sections:
+        diff.findings.extend(_compare_time(baseline, current, thresholds))
+    if "memory" in sections:
+        diff.findings.extend(_compare_memory(baseline, current, thresholds))
+    if "counters" in sections:
+        diff.findings.extend(_compare_counters(baseline, current, thresholds))
+    registry = get_registry()
+    registry.counter("sentinel.comparisons").inc()
+    registry.counter("sentinel.regressions_found").inc(len(diff.regressions))
+    return diff
+
+
+# ----------------------------------------------------------------------
+# trend
+# ----------------------------------------------------------------------
+def format_trend(records: Sequence[RunRecord], pins: Sequence[str] = ()) -> str:
+    """One line per record, oldest first: the ledger as a time series."""
+    from repro.analysis.report import format_table
+
+    headers = ["run", "created", "label", "root s", "peak MiB", "plans"]
+    headers += list(pins)
+    rows = []
+    for record in records:
+        peak = record.root_mem_peak_bytes
+        row = [
+            record.run_id[:12],
+            record.created_unix,
+            record.label,
+            record.root_ns / 1e9,
+            (peak / (1024.0 * 1024.0)) if peak is not None else "-",
+            record.counters().get("dme.plans_computed", "-"),
+        ]
+        row += [record.pins.get(name, "-") for name in pins]
+        rows.append(row)
+    return format_table(headers, rows, title="Run-ledger trend")
+
+
+# ----------------------------------------------------------------------
+# self test
+# ----------------------------------------------------------------------
+def synthetic_record(
+    time_factor: float = 1.0,
+    mem_factor: float = 1.0,
+    counter_factor: float = 1.0,
+    pins: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """A small, fully deterministic record for sentinel self-tests.
+
+    Factors scale the planted ``topology.gated`` phase time, its peak
+    memory, and the ``dme.plans_computed`` counter relative to the
+    canonical baseline shape, so tests (and ``obs selftest``) can plant
+    a precise synthetic regression.
+    """
+    topo_ns = int(2_000_000_000 * time_factor)
+    measure_ns = 100_000_000
+    root_ns = topo_ns + measure_ns + 50_000_000
+    topo_peak = int(64_000_000 * mem_factor)
+    phases = {
+        "root_ns": root_ns,
+        "root_s": root_ns / 1e9,
+        "covered_ns": topo_ns + measure_ns,
+        "coverage": (topo_ns + measure_ns) / root_ns,
+        "root_mem_peak_bytes": max(topo_peak, 8_000_000),
+        "phases": [
+            {
+                "name": "topology.gated",
+                "count": 1,
+                "total_ns": topo_ns,
+                "total_s": topo_ns / 1e9,
+                "fraction": topo_ns / root_ns,
+                "mem_peak_bytes": topo_peak,
+                "mem_alloc_blocks": 1000,
+            },
+            {
+                "name": "flow.measure",
+                "count": 1,
+                "total_ns": measure_ns,
+                "total_s": measure_ns / 1e9,
+                "fraction": measure_ns / root_ns,
+                "mem_peak_bytes": 8_000_000,
+                "mem_alloc_blocks": 200,
+            },
+        ],
+    }
+    metrics = {
+        "dme.plans_computed": {
+            "type": "counter",
+            "value": int(5000 * counter_factor),
+        },
+        "dme.kernel_batches": {"type": "counter", "value": 400},
+    }
+    return RunRecord(
+        kind="selftest",
+        label="sentinel-selftest",
+        config={"benchmark": "synthetic"},
+        fingerprint={"python": "synthetic"},
+        phases=phases,
+        spans=[],
+        metrics=metrics,
+        pins=pins
+        if pins is not None
+        else {"wirelength": 123456.789012, "gate_count": 254},
+        created_unix=0,
+    )
+
+
+def self_test(thresholds: Optional[Thresholds] = None) -> Tuple[bool, str]:
+    """Does the sentinel catch planted regressions and pass clean runs?
+
+    Plants a synthetic 2x ``topology.gated`` slowdown, a 3x memory
+    spike, a counter blowup and a pin flip against the canonical
+    baseline, and also diffs the baseline against itself.  Returns
+    ``(ok, report)`` where ``ok`` requires every planted fault to be
+    caught *and* the identical pair to diff clean.
+    """
+    thresholds = thresholds or Thresholds()
+    baseline = synthetic_record()
+    lines = []
+    ok = True
+
+    clean = compare_runs(baseline, synthetic_record(), thresholds)
+    lines.append("identical runs: %s" % clean.summary())
+    ok &= clean.ok
+
+    planted = {
+        "2x topology.gated slowdown": synthetic_record(time_factor=2.0),
+        "3x memory spike": synthetic_record(mem_factor=3.0),
+        "counter blowup": synthetic_record(counter_factor=2.0),
+        "pin flip": synthetic_record(
+            pins={"wirelength": 123456.789013, "gate_count": 254}
+        ),
+    }
+    for what, record in planted.items():
+        diff = compare_runs(baseline, record, thresholds)
+        caught = not diff.ok
+        lines.append(
+            "planted %s: %s" % (what, "caught" if caught else "MISSED")
+        )
+        ok &= caught
+    lines.append("sentinel self-test: %s" % ("ok" if ok else "FAILED"))
+    return ok, "\n".join(lines)

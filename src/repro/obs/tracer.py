@@ -84,7 +84,15 @@ NULL_SPAN = _NullSpan()
 class Span:
     """An open span; use as a context manager (exception safe)."""
 
-    __slots__ = ("_tracer", "span_id", "parent_id", "name", "attrs", "_start_ns")
+    __slots__ = (
+        "_tracer",
+        "span_id",
+        "parent_id",
+        "name",
+        "attrs",
+        "_start_ns",
+        "_mem",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
         self._tracer = tracer
@@ -93,6 +101,7 @@ class Span:
         self.span_id = -1
         self.parent_id: Optional[int] = None
         self._start_ns = 0
+        self._mem = None
 
     def set(self, **attrs) -> "Span":
         """Attach attributes to the span; chainable."""
@@ -106,6 +115,11 @@ class Span:
         stack = tracer._stack
         self.parent_id = stack[-1].span_id if stack else None
         stack.append(self)
+        if tracer._sampler is not None:
+            self._mem = tracer._sampler.push()
+        listener = tracer._listener
+        if listener is not None:
+            listener.on_span_start(self)
         self._start_ns = tracer._clock()
         return self
 
@@ -114,6 +128,10 @@ class Span:
         if exc_type is not None:
             # Record the failure but never swallow it.
             self.attrs.setdefault("error", exc_type.__name__)
+        sampler = self._tracer._sampler
+        if self._mem is not None and sampler is not None:
+            self.attrs.update(sampler.pop(self._mem))
+            self._mem = None
         stack = self._tracer._stack
         # The span may close out of order only if user code misuses the
         # context managers; drop everything above it so the stack never
@@ -122,16 +140,18 @@ class Span:
             stack.pop()
         if stack:
             stack.pop()
-        self._tracer.spans.append(
-            SpanRecord(
-                span_id=self.span_id,
-                parent_id=self.parent_id,
-                name=self.name,
-                start_ns=self._start_ns,
-                duration_ns=end - self._start_ns,
-                attrs=self.attrs,
-            )
+        record = SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_ns=self._start_ns,
+            duration_ns=end - self._start_ns,
+            attrs=self.attrs,
         )
+        self._tracer.spans.append(record)
+        listener = self._tracer._listener
+        if listener is not None:
+            listener.on_span_end(record)
         return False
 
 
@@ -154,12 +174,42 @@ class Tracer:
         self._stack: List[Span] = []
         self._clock = clock
         self._next_id = 0
+        self._sampler = None
+        self._listener = None
 
     def span(self, name: str, **attrs):
         """Open a span named ``name`` with initial attributes."""
         if not self.enabled:
             return NULL_SPAN
         return Span(self, name, attrs)
+
+    def set_sampler(self, sampler) -> None:
+        """Attach a :class:`~repro.obs.memory.MemorySampler` (or None).
+
+        While attached, every finished span carries the sampler's
+        memory columns (``mem_peak_bytes`` / ``mem_net_bytes`` /
+        ``mem_alloc_blocks``) in its attributes.
+        """
+        self._sampler = sampler
+
+    def set_listener(self, listener) -> None:
+        """Attach a progress listener (or None).
+
+        The listener's ``on_span_start(span)`` / ``on_span_end(record)``
+        / ``on_progress(name, done, total)`` hooks fire synchronously;
+        see :class:`repro.obs.progress.ProgressEmitter`.
+        """
+        self._listener = listener
+
+    def progress(self, done: int, total: int) -> None:
+        """Report within-phase completion (e.g. merge ``done`` of ``total``).
+
+        A no-op unless a listener is attached, so hot loops can call it
+        unconditionally (one attribute test when off).
+        """
+        listener = self._listener
+        if listener is not None:
+            listener.on_progress(self.current_span_name(), done, total)
 
     def current_span_name(self) -> Optional[str]:
         """Name of the innermost open span (``None`` outside any span)."""
@@ -195,16 +245,35 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return previous
 
 
-def enable_tracing() -> Tracer:
-    """Install (and return) a fresh enabled global tracer."""
+def enable_tracing(profile_memory: bool = False) -> Tracer:
+    """Install (and return) a fresh enabled global tracer.
+
+    ``profile_memory=True`` also starts a
+    :class:`~repro.obs.memory.MemorySampler` and attaches it, so every
+    span records its peak/net heap columns; pair with
+    :func:`disable_tracing`, which stops an attached sampler.
+    """
     tracer = Tracer(enabled=True)
+    if profile_memory:
+        from repro.obs.memory import MemorySampler
+
+        tracer.set_sampler(MemorySampler().start())
     set_tracer(tracer)
     return tracer
 
 
 def disable_tracing() -> Tracer:
-    """Install a fresh disabled global tracer; returns the old one."""
-    return set_tracer(Tracer(enabled=False))
+    """Install a fresh disabled global tracer; returns the old one.
+
+    Stops the old tracer's memory sampler, if one was attached, so
+    ``tracemalloc`` does not keep taxing allocations after tracing is
+    turned off.
+    """
+    previous = set_tracer(Tracer(enabled=False))
+    if previous._sampler is not None:
+        previous._sampler.stop()
+        previous.set_sampler(None)
+    return previous
 
 
 def phase_span(name: str, **attrs):

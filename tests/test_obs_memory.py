@@ -1,0 +1,169 @@
+"""Per-span memory sampling: nesting, tracer integration, exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import format_phase_times
+from repro.obs import (
+    MemorySampler,
+    Tracer,
+    chrome_trace,
+    peak_rss_bytes,
+    phase_profile,
+    span_memory_attrs,
+)
+from repro.obs.memory import ATTR_BLOCKS, ATTR_NET, ATTR_PEAK
+
+#: One allocation big enough to dominate sampler bookkeeping noise.
+BIG = 4 * 1024 * 1024
+
+
+@pytest.fixture()
+def sampler():
+    s = MemorySampler().start()
+    yield s
+    s.stop()
+
+
+class TestSampler:
+    def test_push_pop_measures_allocation(self, sampler):
+        frame = sampler.push()
+        blob = bytearray(BIG)
+        attrs = sampler.pop(frame)
+        assert attrs[ATTR_PEAK] >= BIG
+        assert attrs[ATTR_NET] >= BIG  # blob still alive
+        assert attrs[ATTR_BLOCKS] > 0
+        del blob
+
+    def test_net_reflects_freed_memory(self, sampler):
+        frame = sampler.push()
+        blob = bytearray(BIG)
+        del blob
+        attrs = sampler.pop(frame)
+        # The spike is in the peak, not in what survived the span.
+        assert attrs[ATTR_PEAK] >= BIG
+        assert attrs[ATTR_NET] < BIG // 2
+
+    def test_child_spike_propagates_to_parent(self, sampler):
+        """A child's transient peak must be visible in every ancestor."""
+        outer = sampler.push()
+        inner = sampler.push()
+        blob = bytearray(BIG)
+        del blob
+        inner_attrs = sampler.pop(inner)
+        outer_attrs = sampler.pop(outer)
+        assert inner_attrs[ATTR_PEAK] >= BIG
+        assert outer_attrs[ATTR_PEAK] >= BIG
+
+    def test_sequential_siblings_do_not_inherit_peaks(self, sampler):
+        """A later span must not report an earlier sibling's spike."""
+        first = sampler.push()
+        blob = bytearray(BIG)
+        del blob
+        sampler.pop(first)
+        second = sampler.push()
+        attrs = sampler.pop(second)
+        assert attrs[ATTR_PEAK] < BIG // 2
+
+    def test_inactive_sampler_is_silent(self):
+        s = MemorySampler()
+        if s.active:  # another test left tracemalloc on; nothing to check
+            pytest.skip("tracemalloc already tracing")
+        assert s.push() is None
+        assert s.pop(None) == {}
+
+    def test_out_of_order_pop_tolerated(self, sampler):
+        outer = sampler.push()
+        sampler.push()  # leaked inner frame
+        attrs = sampler.pop(outer)
+        assert ATTR_PEAK in attrs
+        assert sampler._frames == []
+
+
+class TestTracerIntegration:
+    def test_spans_carry_memory_attrs(self, sampler):
+        tracer = Tracer()
+        tracer.set_sampler(sampler)
+        with tracer.span("flow.route_gated"):
+            with tracer.span("topology.gated"):
+                blob = bytearray(BIG)
+                del blob
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["topology.gated"].attrs[ATTR_PEAK] >= BIG
+        assert by_name["flow.route_gated"].attrs[ATTR_PEAK] >= BIG
+
+    def test_no_sampler_no_attrs(self):
+        tracer = Tracer()
+        with tracer.span("topology.gated"):
+            pass
+        assert ATTR_PEAK not in tracer.spans[0].attrs
+
+    def test_span_memory_attrs_helper(self, sampler):
+        tracer = Tracer()
+        tracer.set_sampler(sampler)
+        with tracer.span("x", n=3):
+            pass
+        attrs = span_memory_attrs(tracer.spans[0].attrs)
+        assert set(attrs) == {ATTR_PEAK, ATTR_NET, ATTR_BLOCKS}
+
+
+def _memory_trace(sampler):
+    tracer = Tracer()
+    tracer.set_sampler(sampler)
+    with tracer.span("flow.route_gated"):
+        with tracer.span("topology.gated"):
+            blob = bytearray(BIG)
+            del blob
+        with tracer.span("flow.measure"):
+            pass
+    return tracer.spans
+
+
+class TestExporters:
+    def test_phase_profile_aggregates_memory(self, sampler):
+        profile = phase_profile(_memory_trace(sampler))
+        assert profile.has_memory
+        assert profile.root_mem_peak_bytes >= BIG
+        rows = {r.name: r for r in profile.rows}
+        assert rows["topology.gated"].mem_peak_bytes >= BIG
+        assert rows["topology.gated"].mem_alloc_blocks is not None
+        # as_dict only grows the columns when they exist.
+        assert "mem_peak_bytes" in rows["topology.gated"].as_dict()
+
+    def test_phase_profile_without_memory(self):
+        tracer = Tracer()
+        with tracer.span("flow.route_gated"):
+            with tracer.span("topology.gated"):
+                pass
+        profile = phase_profile(tracer.spans)
+        assert not profile.has_memory
+        assert "mem_peak_bytes" not in profile.rows[0].as_dict()
+        assert "root_mem_peak_bytes" not in profile.as_dict()
+
+    def test_format_phase_times_grows_memory_columns(self, sampler):
+        profile = phase_profile(_memory_trace(sampler))
+        table = format_phase_times(profile)
+        assert "peak MiB" in table
+        assert "allocs" in table
+
+    def test_format_phase_times_plain_stays_plain(self):
+        tracer = Tracer()
+        with tracer.span("flow.route_gated"):
+            with tracer.span("topology.gated"):
+                pass
+        table = format_phase_times(phase_profile(tracer.spans))
+        assert "peak MiB" not in table
+
+    def test_chrome_trace_carries_memory_args(self, sampler):
+        trace = chrome_trace(_memory_trace(sampler))
+        # Round-trip through JSON like a real viewer load would.
+        events = json.loads(json.dumps(trace))["traceEvents"]
+        topo = [e for e in events if e["name"] == "topology.gated"]
+        assert topo and topo[0]["args"][ATTR_PEAK] >= BIG
+
+
+class TestPeakRss:
+    def test_positive_on_posix(self):
+        rss = peak_rss_bytes()
+        assert rss is None or rss > 1024 * 1024

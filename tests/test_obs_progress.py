@@ -1,0 +1,138 @@
+"""Progress events: monotonic percent, ordering, JSONL, flow integration."""
+
+import io
+import json
+
+from repro.bench.sinks import SinkGenerator
+from repro.core.flow import route_buffered
+from repro.obs import ProgressEmitter, Tracer, set_tracer
+from repro.obs.names import EVENT_NAMES
+from repro.obs.progress import (
+    EVENT_PHASE_FINISH,
+    EVENT_PHASE_START,
+    EVENT_UPDATE,
+)
+from repro.tech import date98_technology
+
+
+def _clock(step=1000):
+    state = {"t": -step}
+
+    def tick():
+        state["t"] += step
+        return state["t"]
+
+    return tick
+
+
+def _simulated_flow(emitter, merges=10):
+    """Drive the emitter exactly as a traced gated flow would."""
+    tracer = Tracer(clock=_clock())
+    tracer.set_listener(emitter)
+    with tracer.span("flow.route_gated"):
+        with tracer.span("topology.gated"):
+            for done in range(1, merges + 1):
+                tracer.progress(done, merges)
+        with tracer.span("controller.star"):
+            pass
+        with tracer.span("flow.measure"):
+            pass
+    return tracer
+
+
+class TestMonotonicPercent:
+    def test_percent_never_decreases_and_ends_at_one(self):
+        emitter = ProgressEmitter(clock=_clock())
+        _simulated_flow(emitter)
+        percents = [e.percent for e in emitter.events]
+        assert all(b >= a for a, b in zip(percents, percents[1:]))
+        assert emitter.percent == 1.0
+        assert emitter.events[-1].percent == 1.0
+
+    def test_merge_loop_interpolates_within_phase(self):
+        """The dominant phase must progress smoothly, not jump 0 -> 85%."""
+        emitter = ProgressEmitter(clock=_clock(), min_update_step=0.0)
+        _simulated_flow(emitter, merges=10)
+        updates = [e for e in emitter.events if e.event == EVENT_UPDATE]
+        assert len(updates) == 10
+        assert 0.0 < updates[0].percent < 0.2
+        mids = [e.percent for e in updates]
+        assert mids == sorted(mids)
+        # After 10/10 merges the 0.85-weighted phase is fully credited.
+        assert abs(updates[-1].percent - 0.85) < 1e-9
+
+    def test_updates_are_throttled(self):
+        emitter = ProgressEmitter(clock=_clock(), min_update_step=0.5)
+        _simulated_flow(emitter, merges=100)
+        updates = [e for e in emitter.events if e.event == EVENT_UPDATE]
+        # 100 reports collapse to the >=0.5-steps plus the final one.
+        assert len(updates) <= 3
+
+    def test_unknown_phase_emits_but_does_not_move_percent(self):
+        emitter = ProgressEmitter(clock=_clock())
+        tracer = Tracer(clock=_clock())
+        tracer.set_listener(emitter)
+        with tracer.span("flow.route_gated"):
+            with tracer.span("not.a.known.phase"):
+                pass
+            mid = emitter.percent
+        assert mid == 0.0
+        assert emitter.percent == 1.0  # root close still completes
+
+
+class TestEventStream:
+    def test_start_finish_ordering(self):
+        emitter = ProgressEmitter(clock=_clock())
+        _simulated_flow(emitter)
+        names = [(e.event, e.name) for e in emitter.events]
+        assert names.index((EVENT_PHASE_START, "topology.gated")) < names.index(
+            (EVENT_PHASE_FINISH, "topology.gated")
+        )
+        assert names[0] == (EVENT_PHASE_START, "flow.route_gated")
+        assert names[-1] == (EVENT_PHASE_FINISH, "flow.route_gated")
+
+    def test_finish_carries_duration(self):
+        emitter = ProgressEmitter(clock=_clock())
+        _simulated_flow(emitter)
+        finishes = [e for e in emitter.events if e.event == EVENT_PHASE_FINISH]
+        assert all(e.duration_ns is not None for e in finishes)
+
+    def test_event_names_are_catalogued(self):
+        emitter = ProgressEmitter(clock=_clock())
+        _simulated_flow(emitter)
+        assert {e.event for e in emitter.events} <= EVENT_NAMES
+
+    def test_jsonl_stream_is_parseable_and_live(self):
+        stream = io.StringIO()
+        emitter = ProgressEmitter(stream=stream, clock=_clock())
+        _simulated_flow(emitter)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == len(emitter.events)
+        rows = [json.loads(line) for line in lines]
+        assert rows[0]["event"] == EVENT_PHASE_START
+        assert rows[-1]["percent"] == 1.0
+        update = [r for r in rows if r["event"] == EVENT_UPDATE][0]
+        assert {"done", "total"} <= set(update)
+
+    def test_callback_sees_every_event(self):
+        seen = []
+        emitter = ProgressEmitter(callback=seen.append, clock=_clock())
+        _simulated_flow(emitter)
+        assert seen == emitter.events
+
+
+class TestFlowIntegration:
+    def test_real_route_reaches_completion(self):
+        sinks = SinkGenerator(num_sinks=12, seed=5).generate()
+        emitter = ProgressEmitter()
+        tracer = Tracer()
+        tracer.set_listener(emitter)
+        previous = set_tracer(tracer)
+        try:
+            route_buffered(sinks, date98_technology())
+        finally:
+            set_tracer(previous)
+        assert emitter.percent == 1.0
+        updates = [e for e in emitter.events if e.event == EVENT_UPDATE]
+        assert updates, "merge loop reported no in-phase progress"
+        assert all(e.total == len(sinks) - 1 for e in updates)

@@ -1,0 +1,140 @@
+"""The regression sentinel: noise model, planted faults, self-test."""
+
+import pytest
+
+from repro.check.errors import InputError
+from repro.obs import Thresholds, compare_runs, format_trend, self_test
+from repro.obs.sentinel import synthetic_record
+
+
+def _statuses(diff, section):
+    return {f.name: f.status for f in diff.findings if f.section == section}
+
+
+class TestCleanDiffs:
+    def test_identical_runs_diff_clean(self):
+        diff = compare_runs(synthetic_record(), synthetic_record())
+        assert diff.ok
+        assert diff.exit_code == 0
+        assert not diff.notable()
+        assert "clean" in diff.summary()
+
+    def test_small_drift_within_thresholds_is_clean(self):
+        diff = compare_runs(
+            synthetic_record(),
+            synthetic_record(time_factor=1.2, mem_factor=1.1, counter_factor=1.1),
+        )
+        assert diff.ok
+
+    def test_improvement_is_clean_but_notable(self):
+        diff = compare_runs(synthetic_record(), synthetic_record(time_factor=0.4))
+        assert diff.ok
+        assert any(f.status == "improved" for f in diff.findings)
+
+
+class TestPlantedRegressions:
+    def test_time_regression_caught(self):
+        diff = compare_runs(synthetic_record(), synthetic_record(time_factor=2.0))
+        assert diff.exit_code == 1
+        assert _statuses(diff, "time")["topology.gated"] == "regression"
+
+    def test_memory_regression_caught(self):
+        diff = compare_runs(synthetic_record(), synthetic_record(mem_factor=3.0))
+        assert not diff.ok
+        assert _statuses(diff, "memory")["topology.gated"] == "regression"
+
+    def test_counter_blowup_caught_both_directions(self):
+        up = compare_runs(synthetic_record(), synthetic_record(counter_factor=2.0))
+        down = compare_runs(synthetic_record(), synthetic_record(counter_factor=0.5))
+        for diff in (up, down):
+            assert _statuses(diff, "counters")["dme.plans_computed"] == "regression"
+
+    def test_pin_flip_is_a_mismatch_not_noise(self):
+        tweaked = synthetic_record(
+            pins={"wirelength": 123456.789013, "gate_count": 254}
+        )
+        diff = compare_runs(synthetic_record(), tweaked)
+        assert _statuses(diff, "pins")["wirelength"] == "pin-mismatch"
+        assert diff.exit_code == 1
+
+    def test_missing_and_new_pins_reported(self):
+        base = synthetic_record(pins={"a": 1, "b": 2})
+        cur = synthetic_record(pins={"b": 2, "c": 3})
+        statuses = _statuses(compare_runs(base, cur), "pins")
+        assert statuses == {"a": "missing", "b": "ok", "c": "new"}
+
+
+class TestNoiseModel:
+    def test_time_floor_suppresses_tiny_phases(self):
+        """A 2x blowup of a sub-floor phase is scheduler noise."""
+        base = synthetic_record()
+        blown = synthetic_record(time_factor=2.0)
+        floors = Thresholds(time_floor_ns=10_000_000_000)
+        assert compare_runs(base, blown, floors, sections=("time",)).ok
+
+    def test_memory_floor_suppresses_small_peaks(self):
+        base = synthetic_record()
+        blown = synthetic_record(mem_factor=3.0)
+        floors = Thresholds(mem_floor_bytes=1_000_000_000)
+        assert compare_runs(base, blown, floors, sections=("memory",)).ok
+
+    def test_counter_floor_suppresses_small_counts(self):
+        base = synthetic_record(counter_factor=0.001)  # 5 plans
+        cur = synthetic_record(counter_factor=0.004)  # 20 plans, 4x
+        assert compare_runs(base, cur, sections=("counters",)).ok
+
+    def test_tighter_thresholds_flag_more(self):
+        base = synthetic_record()
+        drifted = synthetic_record(time_factor=1.3)
+        assert compare_runs(base, drifted).ok
+        tight = Thresholds(time_rel=1.2)
+        assert not compare_runs(base, drifted, tight).ok
+
+    def test_threshold_validation(self):
+        with pytest.raises(InputError):
+            Thresholds(time_rel=0.9)
+        with pytest.raises(InputError):
+            Thresholds(mem_rel=1.0)
+        with pytest.raises(InputError):
+            Thresholds(counter_rel=-0.1)
+
+
+class TestSections:
+    def test_sections_restrict_comparison(self):
+        base = synthetic_record()
+        slow = synthetic_record(time_factor=2.0)
+        assert compare_runs(base, slow, sections=("pins", "counters")).ok
+        assert not compare_runs(base, slow, sections=("time",)).ok
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(InputError):
+            compare_runs(
+                synthetic_record(), synthetic_record(), sections=("bogus",)
+            )
+
+
+class TestReporting:
+    def test_finding_lines_are_one_line_diagnostics(self):
+        diff = compare_runs(synthetic_record(), synthetic_record(time_factor=2.0))
+        for finding in diff.notable():
+            line = finding.line()
+            assert line.startswith("obs.check: ")
+            assert "\n" not in line
+        report = diff.report()
+        assert report.splitlines()[-1] == diff.summary()
+        assert "REGRESSED" in diff.summary()
+
+    def test_trend_lists_records_with_pins(self):
+        records = [synthetic_record(), synthetic_record(time_factor=0.5)]
+        text = format_trend(records, pins=("wirelength",))
+        assert "Run-ledger trend" in text
+        assert records[0].run_id[:12] in text
+        assert "wirelength" in text
+
+
+class TestSelfTest:
+    def test_self_test_passes(self):
+        ok, report = self_test()
+        assert ok, report
+        assert "sentinel self-test: ok" in report
+        assert "MISSED" not in report
