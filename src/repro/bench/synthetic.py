@@ -1,0 +1,143 @@
+"""Seeded synthetic workloads at sharding scale (10k-100k sinks).
+
+The r1-r5 family tops out at 3101 sinks; the sharded router's scaling
+story needs inputs one to two orders of magnitude larger, and
+committing 100k-sink files would bloat the repository for data that is
+a pure function of a seed.  This module (and the ``gated-cts gen``
+CLI) regenerates them instead:
+
+* **Placement** is a Gaussian mixture: modules belong to functional
+  clusters (the :class:`~repro.bench.cpu_model.CpuModel`'s
+  ``cluster_of``), each cluster gets a uniform center on the die, and
+  every sink lands normally around its module's cluster center -- the
+  placed-design locality assumption of
+  :meth:`~repro.bench.sinks.SinkGenerator.generate_clustered`.
+* **Activity** is drawn from the same :class:`CpuModel`, so the masks
+  are *correlated with placement*: modules that switch together sit
+  together, which is exactly the structure both the gating objective
+  and the spatial partitioner exploit.
+* **Scale** caps the module universe at :data:`MAX_MODULES` -- sinks
+  map many-to-one onto modules above that -- keeping module masks
+  within a few machine words and the instruction count within the
+  int64 signature fast path (the r benchmarks' module == sink
+  identity would put 100k-bit integers on the merge hot path).
+
+The die side grows with ``sqrt(N)`` (constant sink density), matching
+the r-family convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.activity.isa import InstructionSet
+from repro.activity.probability import ActivityOracle
+from repro.activity.stream import InstructionStream
+from repro.activity.tables import ActivityTables
+from repro.bench.cpu_model import CpuModel, CpuModelConfig
+from repro.check.errors import InputError
+from repro.core.controller import Die
+from repro.cts.topology import Sink
+from repro.geometry.point import Point
+
+#: Module-universe cap: sinks map many-to-one above this count.
+MAX_MODULES = 512
+
+#: Instruction-set width; <= 63 keeps activation signatures in int64.
+NUM_INSTRUCTIONS = 32
+
+#: r-family die side at r5 density, lambda (see repro.bench.sinks).
+_REFERENCE_SIDE = 30000.0
+_REFERENCE_SINKS = 3101
+
+#: Sink load capacitance range, pF (the r-family range).
+_LOAD_CAP_RANGE = (0.02, 0.08)
+
+
+@dataclass(frozen=True)
+class SyntheticCase:
+    """One generated workload: sinks + ISA + instruction stream."""
+
+    name: str
+    sinks: List[Sink]
+    die: Die
+    isa: InstructionSet
+    stream: InstructionStream
+
+    def oracle(self) -> ActivityOracle:
+        return ActivityOracle(ActivityTables.from_stream(self.isa, self.stream))
+
+
+def synthetic_die_side(num_sinks: int) -> float:
+    """Die side keeping r5's sink density at any ``N``."""
+    return _REFERENCE_SIDE * math.sqrt(num_sinks / _REFERENCE_SINKS)
+
+
+def generate_synthetic_case(
+    num_sinks: int,
+    seed: int = 0,
+    target_activity: float = 0.4,
+    locality: float = 0.55,
+    spread: float = 0.08,
+    stream_length: int = 10000,
+) -> SyntheticCase:
+    """Draw a seeded clustered workload of ``num_sinks`` sinks.
+
+    Deterministic for a fixed argument tuple: the CPU model, cluster
+    centers, placements, load caps and instruction stream all derive
+    from ``seed``.  ``spread`` is the placement blob sigma as a
+    fraction of the die side.
+    """
+    if num_sinks < 2:
+        raise InputError(
+            "synthetic cases need at least two sinks, got %d" % num_sinks,
+            field="num_sinks",
+        )
+    if spread <= 0:
+        raise InputError("spread must be positive", field="spread")
+    num_modules = min(num_sinks, MAX_MODULES)
+    model = CpuModel(
+        CpuModelConfig(
+            num_modules=num_modules,
+            num_instructions=NUM_INSTRUCTIONS,
+            target_activity=target_activity,
+            locality=locality,
+            seed=seed,
+        )
+    )
+    side = synthetic_die_side(num_sinks)
+    rng = np.random.default_rng(seed)
+    num_clusters = int(model.cluster_of.max()) + 1
+    centers_x = rng.uniform(0.0, side, num_clusters)
+    centers_y = rng.uniform(0.0, side, num_clusters)
+    # Sink i clocks module i mod M: modules stay balanced and, through
+    # cluster_of, every sink inherits its module's functional cluster.
+    modules = np.arange(num_sinks) % num_modules
+    clusters = model.cluster_of[modules]
+    xs = np.clip(
+        centers_x[clusters] + rng.normal(0.0, spread * side, num_sinks), 0.0, side
+    )
+    ys = np.clip(
+        centers_y[clusters] + rng.normal(0.0, spread * side, num_sinks), 0.0, side
+    )
+    caps = rng.uniform(*_LOAD_CAP_RANGE, num_sinks)
+    sinks = [
+        Sink(
+            name="s%d" % i,
+            location=Point(float(xs[i]), float(ys[i])),
+            load_cap=float(caps[i]),
+            module=int(modules[i]),
+        )
+        for i in range(num_sinks)
+    ]
+    return SyntheticCase(
+        name="synth%d_s%d" % (num_sinks, seed),
+        sinks=sinks,
+        die=Die(0.0, 0.0, side, side),
+        isa=model.isa,
+        stream=model.stream(stream_length),
+    )

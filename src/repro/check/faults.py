@@ -53,6 +53,11 @@ class Fault:
     description: str
     mutate: Mutator
 
+    extra_argv: Tuple[str, ...] = ()
+    """Extra CLI flags for this fault's invocation; the ``{dir}``
+    placeholder expands to the fault's working directory (for flags
+    that take an output path, e.g. ``--ledger``)."""
+
 
 @dataclass
 class FaultOutcome:
@@ -189,6 +194,14 @@ FAULTS: Tuple[Fault, ...] = (
           "two distinct sinks at identical coordinates (merged with a "
           "zero-length edge and an exact split)",
           _colocate),
+    Fault("sharded_ledger_profile", "sinks", "ok",
+          "valid inputs routed with --shards/--workers while the "
+          "parent records a ledger RunRecord with memory profiling: "
+          "the tracemalloc sampler and RunRecord assembly must stay "
+          "parent-only under multiprocessing",
+          lambda t: t,
+          extra_argv=("--shards", "2", "--workers", "2",
+                      "--ledger", "{dir}/ledger", "--profile-memory")),
     # -- ISA file ------------------------------------------------------
     Fault("truncated_isa", "isa", "error", "ISA JSON cut mid-token",
           lambda t: t[: len(t) // 2]),
@@ -306,6 +319,8 @@ def cli_argv(fault: Fault, paths: Dict[str, str], vectorize: bool = True) -> Lis
     ]
     if not vectorize:
         argv.append("--no-vectorize")
+    workdir = str(Path(paths[fault.kind]).parent)
+    argv.extend(flag.replace("{dir}", workdir) for flag in fault.extra_argv)
     return argv
 
 

@@ -88,7 +88,7 @@ from repro.analysis.report import (
 from repro.bench.suite import benchmark_names, load_benchmark
 from repro.check.errors import ReproError
 from repro.core.controller import ControllerLayout
-from repro.core.flow import route_buffered, route_gated
+from repro.core.flow import route_buffered, route_gated, route_sharded
 from repro.core.gate_reduction import GateReductionPolicy
 from repro.io.svg import save_svg
 from repro.io.treejson import save_tree
@@ -248,6 +248,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     if args.method == "buffered":
+        if args.shards is not None:
+            from repro.check.errors import InputError
+
+            raise InputError(
+                "--shards applies to the gated/reduced methods only",
+                field="shards",
+            )
         result = route_buffered(
             case.sinks,
             tech,
@@ -262,19 +269,35 @@ def _cmd_route(args: argparse.Namespace) -> int:
             if args.method == "reduced"
             else None
         )
-        result = route_gated(
-            case.sinks,
-            tech,
-            case.oracle,
-            die=case.die,
-            reduction=reduction,
-            num_controllers=args.controllers,
-            candidate_limit=_limit(args),
-            gate_sizing=GateSizingPolicy() if args.gate_sizing else None,
-            skew_bound=args.skew_bound,
-            vectorize=not args.no_vectorize,
-            audit=args.audit,
-        )
+        if args.shards is not None:
+            result = route_sharded(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                num_shards=args.shards,
+                num_workers=args.workers,
+                reduction=reduction,
+                num_controllers=args.controllers,
+                candidate_limit=_limit(args),
+                skew_bound=args.skew_bound,
+                vectorize=not args.no_vectorize,
+                audit=args.audit,
+            )
+        else:
+            result = route_gated(
+                case.sinks,
+                tech,
+                case.oracle,
+                die=case.die,
+                reduction=reduction,
+                num_controllers=args.controllers,
+                candidate_limit=_limit(args),
+                gate_sizing=GateSizingPolicy() if args.gate_sizing else None,
+                skew_bound=args.skew_bound,
+                vectorize=not args.no_vectorize,
+                audit=args.audit,
+            )
     if args.audit:
         print("audit: clean")
     # Exposed so a --ledger RunRecord can pin the routed result.
@@ -291,6 +314,47 @@ def _cmd_route(args: argparse.Namespace) -> int:
         )
         save_svg(result.tree, args.svg, routing=result.routing, layout=layout)
         print("layout written to %s" % args.svg)
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    """Generate a seeded synthetic workload as routable input files.
+
+    Emits ``NAME.sinks`` / ``NAME.isa.json`` / ``NAME.trace`` (with
+    ``NAME = synth<N>_s<seed>``) into ``--out-dir``; feed them back
+    through ``route --sinks NAME.sinks --isa NAME.isa.json
+    --instr-trace NAME.trace``.  Committing the seed reproduces the
+    exact files, so sharding-scale inputs never enter the repository.
+    """
+    import os
+
+    from repro.bench.synthetic import generate_synthetic_case
+    from repro.io.sinkfile import write_sinks
+    from repro.io.tracefile import save_workload
+
+    case = generate_synthetic_case(
+        args.sinks,
+        seed=args.seed,
+        target_activity=args.activity,
+        spread=args.spread,
+        stream_length=args.stream_length,
+    )
+    os.makedirs(args.out_dir, exist_ok=True)
+    base = os.path.join(args.out_dir, case.name)
+    sinks_path = base + ".sinks"
+    isa_path = base + ".isa.json"
+    trace_path = base + ".trace"
+    write_sinks(case.sinks, sinks_path)
+    save_workload(case.isa, case.stream, isa_path, trace_path)
+    args.run_pins = {
+        "num_sinks": len(case.sinks),
+        "seed": args.seed,
+        "die_side": case.die.width,
+    }
+    print(
+        "generated %d sinks (seed %d): %s %s %s"
+        % (len(case.sinks), args.seed, sinks_path, isa_path, trace_path)
+    )
     return 0
 
 
@@ -615,9 +679,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument(
         "--controllers", type=int, default=1, help="number of controllers (power of 2)"
     )
+    p_route.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition into K spatial shards, route each shard's gated "
+        "subtree independently and stitch with the exact zero-skew "
+        "top-tree merge (gated/reduced methods only; for gated, K=1 "
+        "reproduces the unsharded tree byte-for-byte; for reduced, the "
+        "reduction is applied post-stitch in demote mode rather than "
+        "inside the merge objective)",
+    )
+    p_route.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes for --shards (1 = route shards inline)",
+    )
     p_route.add_argument("--out", default=None, help="write the tree as JSON")
     p_route.add_argument("--svg", default=None, help="write a layout SVG")
     p_route.set_defaults(func=_cmd_route)
+
+    p_gen = sub.add_parser(
+        "gen",
+        help="generate a seeded synthetic workload (clustered sinks + "
+        "ISA + instruction trace) for sharding-scale runs",
+    )
+    _add_obs(p_gen)
+    p_gen.add_argument(
+        "--sinks", type=int, required=True, metavar="N", help="number of sinks"
+    )
+    p_gen.add_argument("--seed", type=int, default=0, help="generator seed")
+    p_gen.add_argument(
+        "--activity", type=float, default=0.4, help="target average module activity"
+    )
+    p_gen.add_argument(
+        "--spread",
+        type=float,
+        default=0.08,
+        help="placement-blob sigma as a fraction of the die side",
+    )
+    p_gen.add_argument(
+        "--stream-length", type=int, default=10000, help="instruction-trace length"
+    )
+    p_gen.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory receiving NAME.sinks / NAME.isa.json / NAME.trace",
+    )
+    p_gen.set_defaults(func=_cmd_gen)
 
     p_chars = sub.add_parser("characteristics", help="Table 4 rows")
     _add_common(p_chars)

@@ -30,7 +30,7 @@ from repro.core.switched_cap import (
 from repro.cts.buffered import build_buffered_tree
 from repro.cts.dme import CellPolicy
 from repro.cts.topology import ClockTree, Sink
-from repro.obs import get_tracer, publish_oracle_cache
+from repro.obs import get_registry, get_tracer, publish_oracle_cache
 from repro.tech.parameters import Technology
 
 
@@ -277,6 +277,99 @@ def route_gated(
         routing = route_enables(tree, layout, tech)
         method = "gated" if reduction is None and cell_policy is None else "gate-red"
         result = _measure(method, tree, tech, routing=routing)
+        publish_oracle_cache(oracle)
+        return _maybe_audit(result, audit, skew_bound)
+
+
+def route_sharded(
+    sinks: Sequence[Sink],
+    tech: Technology,
+    oracle: ActivityOracle,
+    die: Optional[Die] = None,
+    num_shards: int = 4,
+    num_workers: int = 1,
+    reduction: Optional[GateReductionPolicy] = None,
+    reduction_mode: str = "demote",
+    cell_policy: Optional[CellPolicy] = None,
+    num_controllers: int = 1,
+    candidate_limit: Optional[int] = None,
+    skew_bound: float = 0.0,
+    vectorize: bool = True,
+    audit: bool = False,
+) -> ClockRoutingResult:
+    """Partition -> per-shard gated DME -> exact zero-skew stitch.
+
+    The scale-out variant of :func:`route_gated`: the sink set is cut
+    into ``num_shards`` spatial shards, each shard's gated subtree is
+    routed independently (inline, or across ``num_workers`` processes
+    when > 1), and the shard roots are merged by the exact zero-skew
+    top-tree stitch (:mod:`repro.cts.sharded`).  ``num_shards=1``
+    reproduces :func:`route_gated`'s tree byte-for-byte.
+
+    Gate reduction is applied to the stitched tree (``"demote"`` or
+    ``"remove"``); ``"merge"``-mode reduction couples gating decisions
+    to the global merge order and is rejected -- it cannot be
+    replicated shard-locally.
+    """
+    from repro.cts.sharded import partition_sinks, route_shards, stitch_shards
+
+    if reduction is not None and reduction_mode not in ("demote", "remove"):
+        raise InputError(
+            "sharded routing applies reduction post-stitch; "
+            "reduction_mode must be 'demote' or 'remove'",
+            field="reduction_mode",
+        )
+    _validate_inputs(sinks, tech, num_modules=oracle.isa.num_modules)
+    die = _die_for(sinks, die)
+    layout = (
+        ControllerLayout.centralized(die)
+        if num_controllers == 1
+        else ControllerLayout.distributed(die, num_controllers)
+    )
+    tracer = get_tracer()
+    registry = get_registry()
+    with tracer.span(
+        "flow.route_sharded",
+        n=len(sinks),
+        shards=num_shards,
+        workers=num_workers,
+    ):
+        with tracer.span("shard.partition", n=len(sinks), shards=num_shards):
+            plan = partition_sinks(sinks, num_shards)
+        registry.counter("shard.count").inc(plan.num_shards)
+        registry.gauge("shard.workers").set(num_workers)
+        for members in plan.shards:
+            registry.histogram("shard.sinks").observe(len(members))
+        with tracer.span("shard.route", shards=plan.num_shards, workers=num_workers):
+            shards = route_shards(
+                sinks,
+                plan,
+                tech,
+                oracle,
+                controller_point=die.center,
+                num_workers=num_workers,
+                cell_policy=cell_policy,
+                candidate_limit=candidate_limit,
+                skew_bound=skew_bound,
+                vectorize=vectorize,
+            )
+        for shard in shards:
+            registry.histogram("shard.route_seconds").observe(shard.seconds)
+        with tracer.span("shard.stitch", shards=plan.num_shards):
+            tree = stitch_shards(
+                shards,
+                plan,
+                tech,
+                oracle,
+                cell_policy=cell_policy,
+                skew_bound=skew_bound,
+            )
+        if reduction is not None:
+            # apply_gate_reduction opens its own "gating.reduce" span.
+            apply_gate_reduction(tree, reduction, mode=reduction_mode)
+        # route_enables opens its own "controller.star" span.
+        routing = route_enables(tree, layout, tech)
+        result = _measure("sharded", tree, tech, routing=routing)
         publish_oracle_cache(oracle)
         return _maybe_audit(result, audit, skew_bound)
 

@@ -1,0 +1,531 @@
+"""Sharded parallel gated routing: partition -> route -> exact stitch.
+
+The paper's greedy merge is inherently sequential: every merge decision
+conditions the next.  This module trades a sliver of optimality at the
+*top* of the tree for parallelism everywhere below it:
+
+1. **Partition** (:func:`partition_sinks`): recursive median bisection
+   -- the same alternating-axis median cut
+   :mod:`repro.cts.bisection` builds whole topologies with -- splits
+   the sink set into ``K`` spatially coherent, balanced shards and
+   records the cut tree as the stitch's merge order.
+2. **Route** (:func:`route_shards`): each shard's gated subtree is
+   built independently by the existing vectorized
+   :class:`~repro.cts.dme.BottomUpMerger`, either inline or in a
+   ``ProcessPoolExecutor`` worker pool.  Workers receive pickled
+   shard sinks plus the :class:`~repro.activity.tables.ActivityTables`
+   (the oracle itself carries per-instance LRU caches and is rebuilt
+   worker-side), run with tracing disabled and a private
+   :class:`~repro.obs.MetricsRegistry`, and return the finished shard
+   tree, its merge trace and its metrics for the parent to fold in.
+3. **Stitch** (:func:`stitch_shards`): shard trees are imported into
+   one :class:`~repro.cts.topology.ClockTree` (per shard, in node-id
+   order, so ids stay a valid bottom-up order) and the shard roots are
+   merged along the cut tree with the *same*
+   :func:`~repro.cts.merge.zero_skew_split` /
+   :func:`~repro.cts.merge.merge_regions` machinery the merger uses,
+   followed by the global top-down embedding.  Every merge in the
+   final tree -- shard-internal or stitch-level -- is an exact
+   zero-skew split, so the stitched tree has exact zero skew by
+   construction and passes :func:`repro.check.audit_network` unchanged.
+
+Two byte-stability contracts anchor the tests:
+
+* ``num_shards=1`` reproduces the unsharded
+  :func:`~repro.core.gated_routing.build_gated_tree` result exactly --
+  same merge trace, same floats, same placement -- because the import
+  preserves node ids and every copied field verbatim;
+* for any ``K``, each shard's switched-capacitance contribution over
+  its *internal* edges (:func:`shard_edge_cap_sums`) is bit-identical
+  between the standalone shard tree and the stitched tree: with a gate
+  on every edge the effective enable probability is node-local, the
+  import preserves ids (hence summation order) and floats verbatim.
+  The stitch's own edges form the one extra accounting bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.activity.probability import ActivityOracle
+from repro.check.errors import ContractError, InputError
+from repro.core.gated_routing import build_gated_tree
+from repro.cts.dme import CellPolicy, GateEveryEdgePolicy
+from repro.cts.merge import Tap, merge_regions, zero_skew_split
+from repro.cts.topology import ClockTree, Sink
+from repro.geometry.point import Point
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.tech.parameters import Technology
+
+__all__ = [
+    "ShardPlan",
+    "ShardRoute",
+    "partition_sinks",
+    "route_shards",
+    "shard_edge_cap_sums",
+    "stitch_shards",
+]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition and the stitch order it implies.
+
+    ``shards`` holds, per shard, the indices into the original sink
+    sequence (each sorted ascending).  ``merge_order`` is the cut tree
+    read bottom-up: slots ``0 .. K-1`` are the shards themselves,
+    every ``(left_slot, right_slot, new_slot)`` triple merges two
+    subtree roots into a new slot, and the last triple's ``new_slot``
+    is the clock root.  With one shard the order is empty.
+    """
+
+    shards: Tuple[Tuple[int, ...], ...]
+    merge_order: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+def partition_sinks(sinks: Sequence[Sink], num_shards: int) -> ShardPlan:
+    """Cut ``sinks`` into ``num_shards`` balanced spatial shards.
+
+    Recursive median bisection with alternating cut axes (the
+    :mod:`repro.cts.bisection` construction, stopped at shard
+    granularity): each cut sorts the remaining indices by the cut
+    coordinate -- ties broken by sink index, so duplicate coordinates
+    partition deterministically -- and splits them proportionally to
+    the shard counts assigned to each side.  Shard sizes differ by at
+    most one sink.
+    """
+    if num_shards < 1:
+        raise InputError("num_shards must be positive", field="num_shards")
+    if num_shards > len(sinks):
+        raise InputError(
+            "num_shards (%d) exceeds the sink count (%d)"
+            % (num_shards, len(sinks)),
+            field="num_shards",
+        )
+    shards: List[Tuple[int, ...]] = []
+    merge_order: List[Tuple[int, int, int]] = []
+    slots = [num_shards]  # next free slot id above the shard slots
+
+    def split(indices: List[int], shard_count: int, vertical: bool) -> int:
+        if shard_count == 1:
+            shards.append(tuple(sorted(indices)))
+            return len(shards) - 1
+        left_count = shard_count // 2
+        right_count = shard_count - left_count
+        def key(i: int) -> Tuple[float, int]:
+            location = sinks[i].location
+            return ((location.x if vertical else location.y), i)
+
+        ordered = sorted(indices, key=key)
+        # Proportional split, clamped so both sides can still feed at
+        # least one sink to every shard assigned to them.
+        take = round(len(ordered) * left_count / shard_count)
+        take = max(left_count, min(take, len(ordered) - right_count))
+        left = split(ordered[:take], left_count, not vertical)
+        right = split(ordered[take:], right_count, not vertical)
+        slot = slots[0]
+        slots[0] += 1
+        merge_order.append((left, right, slot))
+        return slot
+
+    split(list(range(len(sinks))), num_shards, vertical=True)
+    return ShardPlan(shards=tuple(shards), merge_order=tuple(merge_order))
+
+
+@dataclass
+class ShardRoute:
+    """One routed shard, as returned by a worker (all fields pickle)."""
+
+    index: int
+    tree: ClockTree
+    merge_trace: List[Tuple[int, int, int]]
+    stats: Dict[str, int]
+    seconds: float
+    registry: Optional[MetricsRegistry] = None
+
+
+def _route_one_shard(
+    index: int,
+    sinks: Sequence[Sink],
+    tech: Technology,
+    oracle: ActivityOracle,
+    controller_point: Point,
+    cell_policy: Optional[CellPolicy],
+    candidate_limit: Optional[int],
+    skew_bound: float,
+    vectorize: bool,
+    objective: str,
+) -> ShardRoute:
+    """Route one shard's gated subtree with the existing merger."""
+    import time
+
+    start = time.perf_counter()
+    # build_gated_tree opens its own "topology.gated" span (a no-op in
+    # workers, whose tracer is disabled by _worker_initializer).
+    tree = build_gated_tree(
+        sinks,
+        tech,
+        oracle,
+        controller_point=controller_point,
+        cell_policy=cell_policy,
+        candidate_limit=candidate_limit,
+        objective=objective,
+        skew_bound=skew_bound,
+        vectorize=vectorize,
+    )
+    # The merge trace and stats live on the merger, which
+    # build_gated_tree does not return; recover the trace from the
+    # construction order instead: node ids are assigned in merge order,
+    # so (children of node i) in id order *is* the merge trace.
+    trace = [
+        (node.children[0], node.children[1], node.id)
+        for node in tree.nodes()
+        if node.children
+    ]
+    return ShardRoute(
+        index=index,
+        tree=tree,
+        merge_trace=trace,
+        stats=_snapshot_registry_counters(),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _snapshot_registry_counters() -> Dict[str, int]:
+    """The current registry's ``dme.*`` counters, for shard reporting."""
+    registry = get_registry()
+    out: Dict[str, int] = {}
+    for name, payload in registry.as_dict().items():
+        if name.startswith("dme.") and payload.get("type") == "counter":
+            out[name] = payload["value"]
+    return out
+
+
+def _worker_initializer() -> None:
+    """Make a forked/spawned worker process observability-safe.
+
+    Workers inherit the parent's process-global tracer (possibly with
+    an attached tracemalloc sampler whose feeder state belongs to the
+    parent), its metrics registry, and -- under ``fork`` -- a running
+    ``tracemalloc``.  Spans, samplers, progress listeners and the
+    RunRecord ledger are strictly parent-side concerns: install a
+    disabled tracer and a private registry, and stop any inherited
+    allocation tracing before the shard does real work.
+    """
+    import tracemalloc
+
+    from repro.obs import Tracer, set_tracer
+
+    set_tracer(Tracer(enabled=False))
+    set_registry(MetricsRegistry())
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def _pool_route_shard(payload: Tuple) -> ShardRoute:
+    """Worker-side entry: rebuild the oracle, route, return the shard.
+
+    The :class:`~repro.activity.probability.ActivityOracle` carries
+    per-instance ``lru_cache`` wrappers and does not pickle; workers
+    receive the underlying :class:`ActivityTables` and rebuild it (the
+    oracle is a pure function of its tables, so worker-side
+    probabilities are bit-identical to parent-side ones).
+    """
+    (
+        index,
+        sinks,
+        tech,
+        tables,
+        controller_point,
+        cell_policy,
+        candidate_limit,
+        skew_bound,
+        vectorize,
+        objective,
+    ) = payload
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        shard = _route_one_shard(
+            index,
+            sinks,
+            tech,
+            ActivityOracle(tables),
+            controller_point,
+            cell_policy,
+            candidate_limit,
+            skew_bound,
+            vectorize,
+            objective,
+        )
+    finally:
+        set_registry(previous)
+    shard.registry = registry
+    return shard
+
+
+def route_shards(
+    sinks: Sequence[Sink],
+    plan: ShardPlan,
+    tech: Technology,
+    oracle: ActivityOracle,
+    controller_point: Point,
+    num_workers: int = 1,
+    cell_policy: Optional[CellPolicy] = None,
+    candidate_limit: Optional[int] = None,
+    skew_bound: float = 0.0,
+    vectorize: bool = True,
+    objective: str = "incremental",
+) -> List[ShardRoute]:
+    """Route every shard of ``plan``; returns shards in index order.
+
+    ``num_workers <= 1`` routes inline (deterministic fallback, no
+    pickling); more workers fan the shards out over a
+    ``ProcessPoolExecutor``.  Results are identical either way: shard
+    routing shares no state across shards, workers rebuild the oracle
+    from its tables, and the stitch consumes shards in index order
+    regardless of completion order.  Worker metrics registries are
+    merged into the parent's (counters sum), so ``dme.*`` totals cover
+    all shards in both modes.
+    """
+    from repro.obs import get_tracer
+
+    registry = get_registry()
+    if num_workers <= 1 or plan.num_shards == 1:
+        shards = []
+        for index, members in enumerate(plan.shards):
+            shard_registry = MetricsRegistry()
+            with get_tracer().span("shard.one", shard=index, n=len(members)):
+                previous = set_registry(shard_registry)
+                try:
+                    shards.append(
+                        _route_one_shard(
+                            index,
+                            [sinks[i] for i in members],
+                            tech,
+                            oracle,
+                            controller_point,
+                            cell_policy,
+                            candidate_limit,
+                            skew_bound,
+                            vectorize,
+                            objective,
+                        )
+                    )
+                finally:
+                    set_registry(previous)
+            registry.merge(shard_registry)
+        return shards
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    tables = oracle.tables
+    payloads = [
+        (
+            index,
+            tuple(sinks[i] for i in members),
+            tech,
+            tables,
+            controller_point,
+            cell_policy,
+            candidate_limit,
+            skew_bound,
+            vectorize,
+            objective,
+        )
+        for index, members in enumerate(plan.shards)
+    ]
+    workers = min(num_workers, plan.num_shards)
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_initializer
+    ) as pool:
+        shards = list(pool.map(_pool_route_shard, payloads))
+    shards.sort(key=lambda s: s.index)
+    for shard in shards:
+        if shard.registry is not None:
+            registry.merge(shard.registry)
+            shard.registry = None
+    return shards
+
+
+def _import_tree(out: ClockTree, shard_tree: ClockTree) -> int:
+    """Copy a shard tree into ``out`` (id order); returns the new root id.
+
+    Node ids are assigned in construction order (children before
+    parents), so importing in id order keeps every child available
+    when its parent arrives and preserves the *relative* id order --
+    which is what keeps switched-cap accounting over shard-internal
+    edges byte-stable (same floats, same summation order).
+    """
+    offset = len(out)
+    for node in shard_tree.nodes():
+        if node.is_sink:
+            imported = out.add_leaf(node.sink)
+        else:
+            left, right = node.children
+            imported = out.add_internal(
+                left + offset, right + offset, node.merging_segment
+            )
+        imported.edge_length = node.edge_length
+        imported.edge_cell = node.edge_cell
+        imported.edge_maskable = node.edge_maskable
+        imported.snaked = node.snaked
+        imported.module_mask = node.module_mask
+        imported.enable_probability = node.enable_probability
+        imported.enable_transition_probability = (
+            node.enable_transition_probability
+        )
+        imported.subtree_cap = node.subtree_cap
+        imported.sink_delay = node.sink_delay
+        imported.sink_delay_min = node.sink_delay_min
+    return shard_tree.root_id + offset
+
+
+def stitch_shards(
+    shards: Sequence[ShardRoute],
+    plan: ShardPlan,
+    tech: Technology,
+    oracle: ActivityOracle,
+    cell_policy: Optional[CellPolicy] = None,
+    skew_bound: float = 0.0,
+) -> ClockTree:
+    """Merge routed shard trees into one exactly zero-skew clock tree.
+
+    Shard roots are merged along ``plan.merge_order`` with the same
+    split/region machinery as any bottom-up merge
+    (:func:`~repro.cts.merge.zero_skew_split` balances the Elmore
+    delays exactly; :func:`~repro.cts.merge.merge_regions` intersects
+    the cores), then the whole tree is embedded top-down.  Since every
+    shard tree is internally zero-skew and every stitch merge splits
+    exactly, the stitched tree has exact zero skew: at each stitch
+    node both sides present equal sink delays, so the common delay
+    propagates to the root unchanged.
+    """
+    if len(shards) != plan.num_shards:
+        raise ContractError(
+            "got %d routed shards for a %d-shard plan"
+            % (len(shards), plan.num_shards)
+        )
+    policy = cell_policy or GateEveryEdgePolicy()
+    out = ClockTree(tech)
+    slots: Dict[int, int] = {}
+    for shard in shards:
+        slots[shard.index] = _import_tree(out, shard.tree)
+    for left_slot, right_slot, new_slot in plan.merge_order:
+        na = out.node(slots[left_slot])
+        nb = out.node(slots[right_slot])
+        distance = na.merging_segment.distance_to(nb.merging_segment)
+        merged_mask = na.module_mask | nb.module_mask
+        merged_probability = None
+        if policy.needs_merged_probability:
+            merged_probability = oracle.signal_probability(merged_mask)
+        decision_a = policy.decide(na, merged_probability, distance, tech)
+        decision_b = policy.decide(nb, merged_probability, distance, tech)
+        if skew_bound > 0:
+            from repro.cts.bounded import bounded_skew_split
+
+            split = bounded_skew_split(
+                distance,
+                Tap(cap=na.subtree_cap, delay=na.sink_delay, cell=decision_a.cell),
+                na.sink_delay_min,
+                Tap(cap=nb.subtree_cap, delay=nb.sink_delay, cell=decision_b.cell),
+                nb.sink_delay_min,
+                skew_bound,
+                tech,
+            )
+        else:
+            split = zero_skew_split(
+                distance,
+                Tap(cap=na.subtree_cap, delay=na.sink_delay, cell=decision_a.cell),
+                Tap(cap=nb.subtree_cap, delay=nb.sink_delay, cell=decision_b.cell),
+                tech,
+            )
+        region = merge_regions(na.merging_segment, nb.merging_segment, split)
+        merged = out.add_internal(na.id, nb.id, region)
+        na.edge_length = split.length_a
+        na.edge_cell = decision_a.cell
+        na.edge_maskable = decision_a.maskable
+        na.snaked = split.snaked == "a"
+        nb.edge_length = split.length_b
+        nb.edge_cell = decision_b.cell
+        nb.edge_maskable = decision_b.maskable
+        nb.snaked = split.snaked == "b"
+        merged.module_mask = merged_mask
+        merged.subtree_cap = split.merged_cap
+        merged.sink_delay = split.delay
+        merged.sink_delay_min = split.earliest_delay
+        stats = oracle.statistics(merged_mask)
+        merged.enable_probability = stats.signal_probability
+        merged.enable_transition_probability = stats.transition_probability
+        slots[new_slot] = merged.id
+    root_slot = plan.merge_order[-1][2] if plan.merge_order else 0
+    out.set_root(slots[root_slot])
+    _place(out)
+    registry = get_registry()
+    registry.counter("shard.stitch_merges").inc(len(plan.merge_order))
+    return out
+
+
+def _place(tree: ClockTree) -> None:
+    """Global top-down embedding (mirrors ``BottomUpMerger._place``)."""
+    root = tree.root
+    root.location = root.merging_segment.center()
+    for node in tree.preorder():
+        for child_id in node.children:
+            child = tree.node(child_id)
+            child.location = child.merging_segment.nearest_point_to(
+                node.location
+            )
+    tree.validate_embedding()
+
+
+def shard_edge_cap_sums(
+    tree: ClockTree,
+    tech: Technology,
+    node_ranges: Sequence[Tuple[int, int]],
+) -> List[float]:
+    """Per-shard switched capacitance over shard-internal edges.
+
+    ``node_ranges`` gives each shard's contiguous ``[start, stop)``
+    node-id block in ``tree`` (shard roots excluded from their own
+    block's *edge* terms only in the stitched tree, where they carry a
+    stitch-level edge -- pass ``stop`` as the shard root id to scope
+    the sum to internal edges).  Terms follow
+    :func:`repro.core.switched_cap.clock_tree_switched_cap` exactly --
+    ``a_clk * P(EN) * (c * length + attached)`` accumulated in id
+    order -- restricted to edges whose *own* gate masks them, which is
+    every edge under :class:`~repro.cts.dme.GateEveryEdgePolicy`.
+    Identical id order and identical floats make each sum bit-stable
+    between a standalone shard tree and its imported block.
+    """
+    c = tech.unit_wire_capacitance
+    a_clk = tech.clock_transitions_per_cycle
+    sums: List[float] = []
+    for start, stop in node_ranges:
+        total = 0.0
+        for nid in range(start, stop):
+            node = tree.node(nid)
+            if not node.has_gate:
+                raise ContractError(
+                    "node %d has no masking gate; per-shard accounting "
+                    "requires node-local enable probabilities (gate on "
+                    "every edge)" % nid
+                )
+            attached = 0.0
+            if node.is_sink:
+                attached = node.sink.load_cap
+            else:
+                for child_id in node.children:
+                    cell = tree.node(child_id).edge_cell
+                    if cell is not None:
+                        attached += cell.input_cap
+            total += a_clk * node.enable_probability * (
+                c * node.edge_length + attached
+            )
+        sums.append(total)
+    return sums

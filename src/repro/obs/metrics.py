@@ -129,6 +129,39 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s metrics into this registry.
+
+        Counters sum, gauges take the other registry's value when it
+        has one (last-write-wins, matching :meth:`Gauge.set`), and
+        histograms concatenate their streams (count and sum add,
+        min/max widen).  Kind mismatches raise
+        :class:`~repro.check.errors.ContractTypeError` just like
+        aliased lookups do.  This is how per-shard worker registries
+        fold into the parent without losing ``dme.*`` / ``oracle.*``
+        totals.
+        """
+        for name in other.names():
+            metric = other._metrics[name]
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                if metric.value is not None:
+                    self.gauge(name).set(metric.value)
+            elif isinstance(metric, Histogram):
+                mine = self.histogram(name)
+                mine.count += metric.count
+                mine.total += metric.total
+                if metric.min < mine.min:
+                    mine.min = metric.min
+                if metric.max > mine.max:
+                    mine.max = metric.max
+            else:  # pragma: no cover - registry only creates the three
+                raise ContractTypeError(
+                    "metric %r has unknown kind %s"
+                    % (name, type(metric).__name__)
+                )
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

@@ -38,7 +38,12 @@ SPAN_NAMES = frozenset(
         "flow.measure",
         "flow.route_buffered",
         "flow.route_gated",
+        "flow.route_sharded",
         "gating.reduce",
+        "shard.partition",
+        "shard.route",
+        "shard.one",
+        "shard.stitch",
         "sim.build",
         "sim.replay",
         "topology.buffered",
@@ -65,6 +70,11 @@ METRIC_NAMES = frozenset(
         "progress.events_emitted",
         "sentinel.comparisons",
         "sentinel.regressions_found",
+        "shard.count",
+        "shard.route_seconds",
+        "shard.sinks",
+        "shard.stitch_merges",
+        "shard.workers",
         "sim.cycles_replayed",
         "sizing.engaged",
         "sizing.resized",

@@ -565,3 +565,69 @@ class TestKernelAccounting:
             make_sinks(16, seed=44), False, cost=nearest_neighbor_cost
         )
         assert trace == trace_s and wl == wl_s
+
+
+class TestNodeArraysTransport:
+    """NodeArrays must survive pickling and SharedMemory transport
+    bit-exactly -- the sharded worker pool ships per-shard state
+    between processes and any dtype/layout drift would silently break
+    the kernels' exact-parity contract."""
+
+    def _routed_arrays(self):
+        merger, _, _ = run_config(
+            make_sinks(24, seed=9),
+            True,
+            cost=nearest_neighbor_cost,
+            candidate_limit=4,
+        )
+        assert merger.node_arrays is not None
+        return merger.node_arrays
+
+    def test_pickle_round_trip_is_bit_exact(self):
+        import pickle
+
+        na = self._routed_arrays()
+        clone = pickle.loads(pickle.dumps(na))
+        for name in kernels.NodeArrays._FIELDS:
+            src = getattr(na, name)
+            dst = getattr(clone, name)
+            assert dst.dtype == np.float64
+            assert dst.shape == src.shape
+            assert src.tobytes() == dst.tobytes()
+        assert clone.sig.dtype == np.int64
+        assert na.sig.tobytes() == clone.sig.tobytes()
+
+    def test_pickle_protocol_layout_is_stable(self):
+        # The pickled payload is exactly the slots dict: a layout
+        # change (field rename/reorder/dtype) must be a deliberate,
+        # test-visible decision, not an accident.
+        na = self._routed_arrays()
+        state = na.__reduce_ex__(2)
+        assert kernels.NodeArrays._FIELDS == (
+            "ulo", "uhi", "vlo", "vhi", "cap", "delay", "enable_p", "enable_ptr",
+        )
+        assert set(kernels.NodeArrays.__slots__) == set(
+            kernels.NodeArrays._FIELDS + ("sig",)
+        )
+        assert state is not None
+
+    def test_shared_memory_round_trip_is_bit_exact(self):
+        from multiprocessing import shared_memory
+
+        na = self._routed_arrays()
+        fields = kernels.NodeArrays._FIELDS + ("sig",)
+        blocks = []
+        try:
+            for name in fields:
+                src = getattr(na, name)
+                shm = shared_memory.SharedMemory(create=True, size=src.nbytes)
+                blocks.append(shm)
+                view = np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf)
+                view[:] = src
+                back = np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf)
+                assert back.dtype == src.dtype
+                assert back.tobytes() == src.tobytes()
+        finally:
+            for shm in blocks:
+                shm.close()
+                shm.unlink()

@@ -113,3 +113,63 @@ class TestGlobalRegistry:
         finally:
             set_registry(previous)
         assert get_registry() is previous
+
+
+class TestRegistryMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("dme.plans_computed").inc(3)
+        b.counter("dme.plans_computed").inc(4)
+        b.counter("dme.heap_pops").inc(2)
+        a.merge(b)
+        assert a.counter("dme.plans_computed").value == 7
+        assert a.counter("dme.heap_pops").value == 2
+
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("shard.workers").set(1.0)
+        b.gauge("shard.workers").set(8.0)
+        a.merge(b)
+        assert a.gauge("shard.workers").value == 8.0
+
+    def test_unset_gauge_does_not_clobber(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("shard.workers").set(4.0)
+        b.gauge("shard.workers")  # created but never set
+        a.merge(b)
+        assert a.gauge("shard.workers").value == 4.0
+
+    def test_histograms_concatenate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("shard.route_seconds").observe_many([1.0, 5.0])
+        b.histogram("shard.route_seconds").observe_many([0.5, 9.0, 2.0])
+        a.merge(b)
+        h = a.histogram("shard.route_seconds")
+        assert h.count == 5
+        assert h.total == 17.5
+        assert h.min == 0.5
+        assert h.max == 9.0
+
+    def test_merge_into_empty_copies_everything(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("shard.count").inc(4)
+        b.gauge("shard.workers").set(2.0)
+        b.histogram("shard.sinks").observe(7.0)
+        a.merge(b)
+        assert a.as_dict() == b.as_dict()
+
+    def test_kind_mismatch_raises(self):
+        from repro.check.errors import ContractTypeError
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shard.count")
+        b.gauge("shard.count").set(1.0)
+        with pytest.raises(ContractTypeError):
+            a.merge(b)
+
+    def test_merge_does_not_alias_source_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("shard.count").inc(1)
+        a.merge(b)
+        b.counter("shard.count").inc(10)
+        assert a.counter("shard.count").value == 1
