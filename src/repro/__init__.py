@@ -39,7 +39,7 @@ from repro.core import (
     route_gated,
 )
 from repro.core.gate_sizing import GateSizingPolicy
-from repro.cts import ClockTree, Sink, build_buffered_tree
+from repro.cts import ClockTree, RefineConfig, Sink, build_buffered_tree, refine_tree
 from repro.geometry import Point
 from repro.sim import ClockNetworkSimulator
 from repro.tech import GateModel, Technology, date98_technology, unit_technology
@@ -65,6 +65,8 @@ __all__ = [
     "route_gated",
     "GateSizingPolicy",
     "ClockTree",
+    "RefineConfig",
+    "refine_tree",
     "Sink",
     "build_buffered_tree",
     "Point",

@@ -413,7 +413,22 @@ def _audit_controller(tree, routing, tol: float) -> List[AuditFinding]:
         node = gated[nid]
         pin = gate_location(tree, node)
         index, ctrl = layout.controller_for(pin)
-        if index != route.controller_index:
+        if routing.explicit_assignment:
+            # Refined routings may override the partition owner; the
+            # assignment just has to name a real controller, and the
+            # length below is checked against the *assigned* one.
+            if not 0 <= route.controller_index < layout.count:
+                findings.append(
+                    AuditFinding(
+                        "controller",
+                        "node %d enable assigned controller %d; layout has "
+                        "%d" % (nid, route.controller_index, layout.count),
+                        node=nid,
+                    )
+                )
+                continue
+            ctrl = layout.points[route.controller_index]
+        elif index != route.controller_index:
             findings.append(
                 AuditFinding(
                     "controller",
@@ -452,6 +467,10 @@ def _audit_controller(tree, routing, tol: float) -> List[AuditFinding]:
     for nid, node in gated.items():
         pin = gate_location(tree, node)
         _, ctrl = layout.controller_for(pin)
+        if routing.explicit_assignment and nid in routed:
+            index = routed[nid].controller_index
+            if 0 <= index < layout.count:
+                ctrl = layout.points[index]
         length = pin.manhattan_to(ctrl)
         switched += (c * length + gate_in) * node.enable_transition_probability
         wirelength += length

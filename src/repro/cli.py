@@ -247,10 +247,27 @@ def _cmd_route(args: argparse.Namespace) -> int:
             target_activity=args.activity,
             seed=args.seed,
         )
-    if args.method == "buffered":
-        if args.shards is not None:
-            from repro.check.errors import InputError
+    refine = None
+    if args.refine:
+        from repro.cts.refine import RefineConfig
 
+        # One seed drives the whole pipeline: the same --seed that
+        # parameterized the benchmark (or `gen`) also seeds the
+        # annealer, so `gen --seed S` piped into `route --refine
+        # --seed S` is reproducible end to end.
+        refine = RefineConfig(
+            moves=args.moves,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    if args.method == "buffered":
+        from repro.check.errors import InputError
+
+        if args.refine:
+            raise InputError(
+                "--refine applies to the gated/reduced methods only",
+                field="refine",
+            )
+        if args.shards is not None:
             raise InputError(
                 "--shards applies to the gated/reduced methods only",
                 field="shards",
@@ -283,6 +300,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 skew_bound=args.skew_bound,
                 vectorize=not args.no_vectorize,
                 audit=args.audit,
+                refine=refine,
             )
         else:
             result = route_gated(
@@ -297,6 +315,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 skew_bound=args.skew_bound,
                 vectorize=not args.no_vectorize,
                 audit=args.audit,
+                refine=refine,
             )
     if args.audit:
         print("audit: clean")
@@ -697,6 +716,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="W",
         help="worker processes for --shards (1 = route shards inline)",
+    )
+    p_route.add_argument(
+        "--refine",
+        action="store_true",
+        help="anneal the finished gated/reduced tree with the "
+        "refinement post-pass (NNI subtree swaps, gate insertion/"
+        "removal, controller reassignment); never worse than the "
+        "greedy tree, byte-deterministic for a fixed --seed",
+    )
+    p_route.add_argument(
+        "--moves",
+        type=int,
+        default=200,
+        metavar="N",
+        help="move budget for --refine (default 200)",
     )
     p_route.add_argument("--out", default=None, help="write the tree as JSON")
     p_route.add_argument("--svg", default=None, help="write a layout SVG")

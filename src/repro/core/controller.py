@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.check.errors import ContractError
 from repro.cts.topology import ClockNode, ClockTree
@@ -135,6 +135,9 @@ class EnableRouting:
     routes: Tuple[EnableRoute, ...]
     switched_cap: float
     wirelength: float
+    explicit_assignment: bool = False
+    """True when gates were routed to explicitly assigned controllers
+    (refinement output) rather than their partition owners."""
 
     @property
     def gate_count(self) -> int:
@@ -159,12 +162,19 @@ def gate_location(tree: ClockTree, node: ClockNode) -> Point:
 
 
 def route_enables(
-    tree: ClockTree, layout: ControllerLayout, tech: Technology
+    tree: ClockTree,
+    layout: ControllerLayout,
+    tech: Technology,
+    assignment: Optional[Dict[int, int]] = None,
 ) -> EnableRouting:
     """Star-route every gate's enable; compute W(S).
 
     ``W(S) = sum (c |EN_i| + C_g) P_tr(EN_i)`` over the gated edges,
     with ``C_g`` the AND gate's (enable) input capacitance.
+
+    ``assignment`` maps gate node ids to controller indices and
+    overrides the partition owner for those gates (refinement output);
+    unlisted gates still route to their partition's controller.
     """
     with get_tracer().span("controller.star", controllers=layout.count) as span:
         c = tech.unit_wire_capacitance
@@ -176,6 +186,14 @@ def route_enables(
         for node in tree.gates():
             pin = gate_location(tree, node)
             index, ctrl = layout.controller_for(pin)
+            if assignment is not None and node.id in assignment:
+                index = assignment[node.id]
+                if not 0 <= index < layout.count:
+                    raise ContractError(
+                        "gate %d assigned controller %d; layout has %d"
+                        % (node.id, index, layout.count)
+                    )
+                ctrl = layout.points[index]
             length = pin.manhattan_to(ctrl)
             ptr = node.enable_transition_probability
             routes.append(
@@ -195,6 +213,7 @@ def route_enables(
             routes=tuple(routes),
             switched_cap=switched,
             wirelength=wirelength,
+            explicit_assignment=assignment is not None,
         )
 
 

@@ -9,8 +9,9 @@ buffered baseline and the gated variants interchangeably.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.activity.probability import ActivityOracle
 from repro.check.errors import InputError
@@ -29,9 +30,12 @@ from repro.core.switched_cap import (
 )
 from repro.cts.buffered import build_buffered_tree
 from repro.cts.dme import CellPolicy
+from repro.cts.refine import RefineConfig, refine_tree
 from repro.cts.topology import ClockTree, Sink
 from repro.obs import get_registry, get_tracer, publish_oracle_cache
 from repro.tech.parameters import Technology
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -162,6 +166,32 @@ def _validate_inputs(sinks, tech, num_modules=None) -> None:
     validate_technology(tech, strict=True)
 
 
+def _maybe_refine(
+    tree: ClockTree,
+    tech: Technology,
+    oracle: ActivityOracle,
+    layout: ControllerLayout,
+    refine: Optional[RefineConfig],
+    skew_bound: float,
+) -> Tuple[ClockTree, Optional[Dict[int, int]]]:
+    """Run the annealing post-pass when configured.
+
+    Returns the (possibly improved) tree and the explicit controller
+    assignment for :func:`route_enables` -- ``None`` when the greedy
+    tree survived unbeaten, so un-refined runs stay byte-identical.
+    """
+    if refine is None or refine.moves == 0:
+        return tree, None
+    if skew_bound != 0:
+        raise InputError(
+            "refinement repairs moves with exact zero-skew splits; "
+            "it cannot run under a bounded-skew budget",
+            field="refine",
+        )
+    best, assignment, _stats = refine_tree(tree, tech, oracle, layout, refine)
+    return best, assignment
+
+
 def _maybe_audit(result: ClockRoutingResult, audit: bool, skew_bound: float):
     """Opt-in post-flow hook: re-verify every network invariant.
 
@@ -222,6 +252,7 @@ def route_gated(
     skew_bound: float = 0.0,
     vectorize: bool = True,
     audit: bool = False,
+    refine: Optional[RefineConfig] = None,
 ) -> ClockRoutingResult:
     """The paper's gated router, with or without gate reduction.
 
@@ -233,7 +264,9 @@ def route_gated(
     afterwards -- see :mod:`repro.core.gate_reduction` for the
     trade-offs.  ``num_controllers`` > 1 activates the distributed
     controllers of section 6.  ``cell_policy`` overrides ``reduction``
-    when both are given.
+    when both are given.  ``refine`` runs the annealing post-pass
+    (:mod:`repro.cts.refine`) over the finished tree; the measured
+    result is never worse than the greedy tree's.
     """
     if reduction_mode not in ("demote", "remove", "merge"):
         raise InputError(
@@ -273,8 +306,12 @@ def route_gated(
         if reduction is not None and policy is None:
             # apply_gate_reduction opens its own "gating.reduce" span.
             apply_gate_reduction(tree, reduction, mode=reduction_mode)
+        # refine_tree opens its own "refine.anneal" span.
+        tree, assignment = _maybe_refine(
+            tree, tech, oracle, layout, refine, skew_bound
+        )
         # route_enables opens its own "controller.star" span.
-        routing = route_enables(tree, layout, tech)
+        routing = route_enables(tree, layout, tech, assignment=assignment)
         method = "gated" if reduction is None and cell_policy is None else "gate-red"
         result = _measure(method, tree, tech, routing=routing)
         publish_oracle_cache(oracle)
@@ -296,6 +333,7 @@ def route_sharded(
     skew_bound: float = 0.0,
     vectorize: bool = True,
     audit: bool = False,
+    refine: Optional[RefineConfig] = None,
 ) -> ClockRoutingResult:
     """Partition -> per-shard gated DME -> exact zero-skew stitch.
 
@@ -306,10 +344,17 @@ def route_sharded(
     top-tree stitch (:mod:`repro.cts.sharded`).  ``num_shards=1``
     reproduces :func:`route_gated`'s tree byte-for-byte.
 
+    ``num_shards`` above the sink count is clamped (with a warning)
+    rather than rejected: the flow caller asked for "as parallel as
+    possible", and one-sink shards are that.  Direct users of
+    :func:`repro.cts.sharded.partition_sinks` still get the strict
+    ``InputError``.
+
     Gate reduction is applied to the stitched tree (``"demote"`` or
     ``"remove"``); ``"merge"``-mode reduction couples gating decisions
     to the global merge order and is rejected -- it cannot be
-    replicated shard-locally.
+    replicated shard-locally.  ``refine`` anneals the stitched
+    (post-reduction) tree, exactly as in :func:`route_gated`.
     """
     from repro.cts.sharded import partition_sinks, route_shards, stitch_shards
 
@@ -320,6 +365,13 @@ def route_sharded(
             field="reduction_mode",
         )
     _validate_inputs(sinks, tech, num_modules=oracle.isa.num_modules)
+    if num_shards > len(sinks):
+        logger.warning(
+            "clamping num_shards from %d to the sink count %d",
+            num_shards,
+            len(sinks),
+        )
+        num_shards = len(sinks)
     die = _die_for(sinks, die)
     layout = (
         ControllerLayout.centralized(die)
@@ -367,8 +419,12 @@ def route_sharded(
         if reduction is not None:
             # apply_gate_reduction opens its own "gating.reduce" span.
             apply_gate_reduction(tree, reduction, mode=reduction_mode)
+        # refine_tree opens its own "refine.anneal" span.
+        tree, assignment = _maybe_refine(
+            tree, tech, oracle, layout, refine, skew_bound
+        )
         # route_enables opens its own "controller.star" span.
-        routing = route_enables(tree, layout, tech)
+        routing = route_enables(tree, layout, tech, assignment=assignment)
         result = _measure("sharded", tree, tech, routing=routing)
         publish_oracle_cache(oracle)
         return _maybe_audit(result, audit, skew_bound)

@@ -33,8 +33,13 @@ from repro.cts.candidate_index import SegmentGridIndex
 from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan, MergerStats
 from repro.cts.buffered import build_buffered_tree
 from repro.cts.reembed import reembed
+from repro.cts.refine import AnnealingRefiner, RefineConfig, RefineResult, refine_tree
 
 __all__ = [
+    "AnnealingRefiner",
+    "RefineConfig",
+    "RefineResult",
+    "refine_tree",
     "ClockNode",
     "ClockTree",
     "Sink",

@@ -34,7 +34,14 @@ def _postorder_ids(tree: ClockTree) -> List[int]:
 
 
 def reembed(tree: ClockTree) -> None:
-    """Recompute the embedding in place for the tree's current cells."""
+    """Recompute the embedding in place for the tree's current cells.
+
+    Internal nodes are normally binary, but edits (gate-reduction
+    demote/remove, refinement moves) can leave *unary* pass-through
+    nodes; those propagate their single child's presented capacitance
+    and delay through a zero-length edge instead of crashing the
+    two-child unpack.
+    """
     tech = tree.tech
     for node_id in _postorder_ids(tree):
         node = tree.node(node_id)
@@ -42,6 +49,25 @@ def reembed(tree: ClockTree) -> None:
             node.merging_segment = Trr.from_point(node.sink.location)
             node.subtree_cap = node.sink.load_cap
             node.sink_delay = 0.0
+            node.sink_delay_min = 0.0
+            continue
+        if len(node.children) == 1:
+            # Unary pass-through: no split to balance.  The child
+            # attaches with a zero-length edge, so the node presents
+            # the child's own presented capacitance (its cell's input
+            # pin when the edge carries one) and its unloaded delay.
+            (child,) = (tree.node(c) for c in node.children)
+            tap = Tap(
+                cap=child.subtree_cap,
+                delay=child.sink_delay,
+                cell=child.edge_cell,
+            )
+            child.edge_length = 0.0
+            child.snaked = False
+            node.merging_segment = child.merging_segment
+            node.subtree_cap = tap.presented_cap(0.0, tech)
+            node.sink_delay = tap.edge_delay(0.0, tech)
+            node.sink_delay_min = node.sink_delay
             continue
         left, right = (tree.node(c) for c in node.children)
         distance = left.merging_segment.distance_to(right.merging_segment)
@@ -60,6 +86,10 @@ def reembed(tree: ClockTree) -> None:
         )
         node.subtree_cap = split.merged_cap
         node.sink_delay = split.delay
+        # The split is exactly zero-skew, so the delay interval
+        # collapses to a point; leaving a stale bounded-skew lower
+        # bound behind would trip the auditor's interval check.
+        node.sink_delay_min = split.delay
 
     root = tree.root
     root.location = root.merging_segment.center()

@@ -10,6 +10,7 @@ child node.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -139,6 +140,19 @@ class ClockTree:
         if self._nodes[node_id].parent is not None:
             raise ContractError("root must not have a parent")
         self._root = node_id
+
+    def clone(self) -> "ClockTree":
+        """Deep-enough copy: independent nodes, shared immutable leaves.
+
+        Node dataclasses are copied shallowly -- their fields are either
+        scalars or frozen value objects (``Sink``, ``Trr``, ``Point``,
+        ``GateModel``), so mutating a clone never aliases back into the
+        original.  Used by the refinement pass for keep-best snapshots.
+        """
+        other = ClockTree(self._tech)
+        other._nodes = [copy.copy(n) for n in self._nodes]
+        other._root = self._root
+        return other
 
     # ------------------------------------------------------------------
     # access

@@ -40,6 +40,7 @@ SPAN_NAMES = frozenset(
         "flow.route_gated",
         "flow.route_sharded",
         "gating.reduce",
+        "refine.anneal",
         "shard.partition",
         "shard.route",
         "shard.one",
@@ -83,8 +84,9 @@ METRIC_NAMES = frozenset(
 
 #: Literal prefixes of dynamically composed metric families:
 #: ``dme.*`` carries :meth:`MergerStats.snapshot` keys, ``oracle.*``
-#: the per-method LRU hit/miss/currsize gauges.
-METRIC_PREFIXES = ("dme.", "oracle.")
+#: the per-method LRU hit/miss/currsize gauges, ``refine.*`` the
+#: annealer's move/escalation counters.
+METRIC_PREFIXES = ("dme.", "oracle.", "refine.")
 
 #: Every progress-event name the tracer listener layer emits (see
 #: :mod:`repro.obs.progress`).  Events follow the same dotted

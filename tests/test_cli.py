@@ -79,6 +79,39 @@ class TestCommands:
             ["route", "--scale", "0.04", "--method", "gated", "--candidate-limit", "0"]
         ) == 0
 
+    def test_oversized_shards_clamp_to_sink_count(self, capsys):
+        # More shards than sinks is forgiven at the flow layer: the
+        # run clamps with a warning instead of dying on InputError.
+        code = main(
+            ["route", "--scale", "0.04", "--method", "gated", "--shards", "999"]
+        )
+        assert code == 0
+
+    def test_refine_smoke(self, capsys):
+        code = main(
+            [
+                "route",
+                "--scale",
+                "0.05",
+                "--method",
+                "gated",
+                "--refine",
+                "--moves",
+                "30",
+                "--seed",
+                "1",
+                "--audit",
+            ]
+        )
+        assert code == 0
+        assert "gated" in capsys.readouterr().out
+
+    def test_refine_rejects_buffered(self, capsys):
+        code = main(
+            ["route", "--scale", "0.05", "--method", "buffered", "--refine"]
+        )
+        assert code == 2
+
     def test_skew_bound_and_sizing_flags(self, capsys):
         assert main(
             [

@@ -86,3 +86,61 @@ class TestReembedAfterEdits:
         )
         reembed(tree)
         assert tree.skew() <= 1e-9 * max(tree.phase_delay(), 1.0)
+
+    def test_reembed_refreshes_root_interval(self):
+        tree = build(policy=GateEveryEdgePolicy())
+        for i, node in enumerate(tree.edges()):
+            if i % 3 == 0:
+                node.edge_cell = None
+                node.edge_maskable = False
+        reembed(tree)
+        # reembed restores exact zero skew, so the root's delay
+        # interval must collapse back to a point -- a stale
+        # sink_delay_min would trip the auditor's interval check.
+        assert tree.root.sink_delay_min == tree.root.sink_delay
+
+
+class TestUnaryPassThrough:
+    """Regression: unary nodes (gate reduction / refine edits) used to
+    crash the two-child unpack in ``reembed``."""
+
+    def _make_unary(self, tree):
+        """Detach one leaf of the deepest merge, leaving its parent
+        with a single child (a full binary tree always has an internal
+        node whose children are both leaves)."""
+        deepest = max(tree.internal_nodes(), key=lambda n: (tree.depth(n.id), n.id))
+        kept, dropped = deepest.children
+        assert tree.node(kept).is_sink and tree.node(dropped).is_sink
+        tree.node(dropped).parent = None
+        deepest.children = (kept,)
+        return deepest, kept
+
+    def test_unary_node_passes_through(self):
+        tree = build(n=12, seed=3, policy=GateEveryEdgePolicy())
+        unary, kept = self._make_unary(tree)
+        reembed(tree)
+        child = tree.node(kept)
+        assert child.edge_length == 0.0
+        assert not child.snaked
+        assert unary.merging_segment == child.merging_segment
+        assert tree.skew() <= 1e-9 * max(tree.phase_delay(), 1.0)
+        tree.validate_embedding()
+
+    def test_unary_node_caps_match_elmore(self):
+        tree = build(n=12, seed=3, policy=GateEveryEdgePolicy())
+        self._make_unary(tree)
+        reembed(tree)
+        ev = tree.elmore_evaluator()
+        for node in tree.preorder():
+            assert node.subtree_cap == pytest.approx(ev.subtree_cap(node.id))
+
+    def test_unary_node_without_cell(self):
+        tree = build(n=9, seed=5)  # plain wires everywhere
+        unary, kept = self._make_unary(tree)
+        reembed(tree)
+        child = tree.node(kept)
+        # A bare zero-length edge is electrically transparent: the
+        # unary node presents exactly the child's own capacitance.
+        assert unary.subtree_cap == pytest.approx(child.subtree_cap)
+        assert unary.sink_delay == pytest.approx(child.sink_delay)
+        assert tree.skew() <= 1e-9 * max(tree.phase_delay(), 1.0)

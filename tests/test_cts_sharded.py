@@ -1,5 +1,7 @@
 """Sharded routing: partition, per-shard DME, exact zero-skew stitch."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -114,6 +116,38 @@ class TestPartition:
             partition_sinks(sinks, 0)
         with pytest.raises(InputError):
             partition_sinks(sinks, len(sinks) + 1)
+
+
+class TestShardClamp:
+    """``route_sharded`` clamps an oversized shard request at the flow
+    layer (with a warning) instead of surfacing the partition layer's
+    :class:`InputError` -- the library contract stays strict, the flow
+    is forgiving."""
+
+    def test_more_shards_than_sinks_clamps(self, case, tech, caplog):
+        sinks, oracle = case
+        few = sinks[:5]
+        with caplog.at_level(logging.WARNING, logger="repro.core.flow"):
+            result = route_sharded(few, tech, oracle, num_shards=9)
+        assert any("clamping num_shards" in r.getMessage() for r in caplog.records)
+        assert result.num_sinks == 5
+        assert audit_network(result.tree, routing=result.routing).ok
+
+    def test_clamped_run_matches_explicit_shard_count(self, case, tech):
+        sinks, oracle = case
+        few = sinks[:5]
+        clamped = route_sharded(few, tech, oracle, num_shards=9)
+        explicit = route_sharded(few, tech, oracle, num_shards=5)
+        assert clamped.pins() == explicit.pins()
+
+    def test_exact_fit_does_not_warn(self, case, tech, caplog):
+        sinks, oracle = case
+        few = sinks[:5]
+        with caplog.at_level(logging.WARNING, logger="repro.core.flow"):
+            route_sharded(few, tech, oracle, num_shards=5)
+        assert not any(
+            "clamping num_shards" in r.getMessage() for r in caplog.records
+        )
 
 
 class TestSingleShardParity:
