@@ -36,11 +36,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.activity.isa import InstructionSet
+from repro.quantity import Probability
 from repro.activity.stream import InstructionStream
 from repro.activity.tables import ActivityTables
 
@@ -49,8 +50,8 @@ from repro.activity.tables import ActivityTables
 class EnableStatistics:
     """The two quantities the router needs for one enable signal."""
 
-    signal_probability: float
-    transition_probability: float
+    signal_probability: Probability
+    transition_probability: Probability
 
 
 class ActivityOracle:
@@ -118,7 +119,7 @@ class ActivityOracle:
             "signature_statistics": self._signature_statistics.cache_info(),
         }
 
-    def publish_metrics(self, registry=None) -> None:
+    def publish_metrics(self, registry: Optional[Any] = None) -> None:
         """Publish the LRU hit/miss numbers as ``oracle.*`` gauges.
 
         ``registry`` defaults to the process-global
@@ -171,14 +172,14 @@ class ActivityOracle:
             count=len(self._masks),
         )
 
-    def _signature_signal_uncached(self, signature: int) -> float:
+    def _signature_signal_uncached(self, signature: int) -> Probability:
         if signature == 0:
             return 0.0
         a = self._signature_vector(signature)
         # Clamp float summation noise: probabilities live in [0, 1].
         return min(max(float(a @ self._ift), 0.0), 1.0)
 
-    def _signature_transition_uncached(self, signature: int) -> float:
+    def _signature_transition_uncached(self, signature: int) -> Probability:
         if signature == 0:
             return 0.0
         a = self._signature_vector(signature)
@@ -194,13 +195,13 @@ class ActivityOracle:
         ptr = float(a @ (self._row + self._col) - 2.0 * (a @ self._pair @ a))
         return EnableStatistics(p, min(max(ptr, 0.0), 1.0))
 
-    def _signal_probability(self, module_mask: int) -> float:
+    def _signal_probability(self, module_mask: int) -> Probability:
         """``P(EN)`` for the module subset."""
         if module_mask == 0:
             return 0.0
         return self._signature_signal(self.activation_signature(module_mask))
 
-    def _transition_probability(self, module_mask: int) -> float:
+    def _transition_probability(self, module_mask: int) -> Probability:
         """``P_tr(EN)`` for the module subset."""
         if module_mask == 0:
             return 0.0
@@ -212,7 +213,7 @@ class ActivityOracle:
             return EnableStatistics(0.0, 0.0)
         return self._signature_statistics(self.activation_signature(module_mask))
 
-    def batch_probabilities(self, signatures) -> np.ndarray:
+    def batch_probabilities(self, signatures: Any) -> np.ndarray:
         """``P(EN)`` for a whole array of activation signatures.
 
         ``signatures`` is any array-like of signature ints (``int64``
@@ -233,7 +234,7 @@ class ActivityOracle:
             values[j] = self._signature_signal(int(sig))
         return values[inverse]
 
-    def batch_transition_probabilities(self, signatures) -> np.ndarray:
+    def batch_transition_probabilities(self, signatures: Any) -> np.ndarray:
         """``P_tr(EN)`` for an array of signatures (see
         :meth:`batch_probabilities`; same dedup + memo contract)."""
         sigs = np.asarray(signatures)
@@ -248,7 +249,7 @@ class ActivityOracle:
 
 def scan_stream_probabilities(
     isa: InstructionSet, stream: InstructionStream, module_mask: int
-) -> Tuple[float, float]:
+) -> Tuple[Probability, Probability]:
     """Brute-force reference: rescan the trace for one module subset.
 
     Returns ``(P(EN), P_tr(EN))`` computed directly from cycle-by-cycle

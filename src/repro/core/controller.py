@@ -22,6 +22,7 @@ from repro.check.errors import ContractError
 from repro.cts.topology import ClockNode, ClockTree
 from repro.geometry.point import Point
 from repro.obs import get_registry, get_tracer
+from repro.quantity import AreaUm2, LengthUm, NodeId, Probability, SwitchedCap
 from repro.tech.parameters import Technology
 
 
@@ -29,21 +30,21 @@ from repro.tech.parameters import Technology
 class Die:
     """The chip outline (axis-aligned rectangle)."""
 
-    x0: float
-    y0: float
-    x1: float
-    y1: float
+    x0: LengthUm
+    y0: LengthUm
+    x1: LengthUm
+    y1: LengthUm
 
     def __post_init__(self):
         if self.x1 < self.x0 or self.y1 < self.y0:
             raise ContractError("die corners out of order")
 
     @property
-    def width(self) -> float:
+    def width(self) -> LengthUm:
         return self.x1 - self.x0
 
     @property
-    def height(self) -> float:
+    def height(self) -> LengthUm:
         return self.y1 - self.y0
 
     @property
@@ -121,10 +122,10 @@ class ControllerLayout:
 class EnableRoute:
     """One star edge: controller -> gate enable pin."""
 
-    node_id: int
+    node_id: NodeId
     controller_index: int
-    length: float
-    transition_probability: float
+    length: LengthUm
+    transition_probability: Probability
 
 
 @dataclass(frozen=True)
@@ -133,8 +134,8 @@ class EnableRouting:
 
     layout: ControllerLayout
     routes: Tuple[EnableRoute, ...]
-    switched_cap: float
-    wirelength: float
+    switched_cap: SwitchedCap
+    wirelength: LengthUm
     explicit_assignment: bool = False
     """True when gates were routed to explicitly assigned controllers
     (refinement output) rather than their partition owners."""
@@ -143,7 +144,7 @@ class EnableRouting:
     def gate_count(self) -> int:
         return len(self.routes)
 
-    def wire_area(self, tech: Technology) -> float:
+    def wire_area(self, tech: Technology) -> AreaUm2:
         return tech.wire_area(self.wirelength)
 
 
@@ -217,7 +218,7 @@ def route_enables(
         )
 
 
-def expected_star_wirelength(die_side: float, num_gates: int, k: int = 1) -> float:
+def expected_star_wirelength(die_side: LengthUm, num_gates: int, k: int = 1) -> LengthUm:
     """Section 6's analytical star wirelength: ``G D / (4 sqrt(k))``.
 
     Assumes gates spread uniformly over a square die of side ``D``:

@@ -38,6 +38,7 @@ from typing import Optional, Tuple
 
 from repro.cts.dme import BottomUpMerger, CellDecision, MergePlan
 from repro.cts.topology import ClockNode
+from repro.quantity import LengthUm, Probability, SwitchedCap
 
 try:  # NumPy backs the optional batched bound; scalar costs work without it.
     import numpy as np
@@ -48,7 +49,7 @@ except ImportError:  # pragma: no cover - NumPy present in CI images
     _kernels = None
 
 
-def _edge_weight(decision: CellDecision, child: ClockNode, plan: MergePlan) -> float:
+def _edge_weight(decision: CellDecision, child: ClockNode, plan: MergePlan) -> Probability:
     """Switching probability of the new clock edge above ``child``."""
     if decision.maskable:
         return child.enable_probability
@@ -60,8 +61,8 @@ def _edge_weight(decision: CellDecision, child: ClockNode, plan: MergePlan) -> f
 
 
 def _decision_weight(
-    decision: CellDecision, child: ClockNode, merged_probability: Optional[float]
-) -> float:
+    decision: CellDecision, child: ClockNode, merged_probability: Optional[Probability]
+) -> Probability:
     """:func:`_edge_weight` without a plan (for cost lower bounds)."""
     if decision.maskable:
         return child.enable_probability
@@ -125,8 +126,8 @@ def _uniform_pair_weights(uniform, merger, na, others, merged_p):
 
 
 def _bound_decisions(
-    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
-) -> Tuple[Optional[float], CellDecision, CellDecision]:
+    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: LengthUm
+) -> Tuple[Optional[Probability], CellDecision, CellDecision]:
     """The merged probability and cell decisions :meth:`plan` would take.
 
     Everything here is recomputed exactly as the full plan does (the
@@ -141,7 +142,7 @@ def _bound_decisions(
     return merged_probability, decision_a, decision_b
 
 
-def switched_capacitance_cost(plan: MergePlan, merger: BottomUpMerger) -> float:
+def switched_capacitance_cost(plan: MergePlan, merger: BottomUpMerger) -> SwitchedCap:
     """Paper Eq. 3: switched capacitance added by this merge."""
     tech = merger.tech
     c = tech.unit_wire_capacitance
@@ -164,8 +165,8 @@ def switched_capacitance_cost(plan: MergePlan, merger: BottomUpMerger) -> float:
 
 
 def _eq3_lower_bound(
-    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
-) -> float:
+    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: LengthUm
+) -> SwitchedCap:
     """Cheap lower bound of :func:`switched_capacitance_cost`.
 
     Exact except for the wire split: the subtree-capacitance, gate-pin,
@@ -323,7 +324,7 @@ switched_capacitance_cost.batch_cost_ready = _uniform_screen_ready
 
 def incremental_switched_capacitance_cost(
     plan: MergePlan, merger: BottomUpMerger
-) -> float:
+) -> SwitchedCap:
     """Count-once variant of Eq. 3 (the default router objective).
 
     Summed over a whole construction this equals the final
@@ -380,8 +381,8 @@ incremental_switched_capacitance_cost.needs_merged_probability = True
 
 
 def _incremental_lower_bound(
-    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: float
-) -> float:
+    merger: BottomUpMerger, na: ClockNode, nb: ClockNode, distance: LengthUm
+) -> SwitchedCap:
     """Cheap lower bound of :func:`incremental_switched_capacitance_cost`.
 
     The pin and enable-star terms are computed exactly (they need no

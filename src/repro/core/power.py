@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.check.errors import ContractError
 from repro.core.flow import ClockRoutingResult
+from repro.quantity import SwitchedCap
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ DATE98_OPERATING_POINT = OperatingPoint(frequency_hz=200e6, vdd=3.3)
 
 
 def switched_cap_to_watts(
-    switched_cap_pf: float, point: OperatingPoint = DATE98_OPERATING_POINT
+    switched_cap_pf: SwitchedCap, point: OperatingPoint = DATE98_OPERATING_POINT
 ) -> float:
     """Dynamic power in watts for a per-cycle switched capacitance.
 

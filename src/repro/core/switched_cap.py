@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.cts.topology import ClockTree
+from repro.quantity import CapacitanceFF, NodeId, Probability, SwitchedCap
 from repro.tech.parameters import Technology
 
 
@@ -29,22 +30,22 @@ from repro.tech.parameters import Technology
 class SwitchedCapBreakdown:
     """W(T), W(S) and their sum, in pF per clock cycle."""
 
-    clock_tree: float
-    controller_tree: float
+    clock_tree: SwitchedCap
+    controller_tree: SwitchedCap
 
     @property
-    def total(self) -> float:
+    def total(self) -> SwitchedCap:
         return self.clock_tree + self.controller_tree
 
 
-def effective_enable_probabilities(tree: ClockTree) -> Dict[int, float]:
+def effective_enable_probabilities(tree: ClockTree) -> Dict[int, Probability]:
     """Per-node switching probability of the net feeding that node.
 
     The root's net is the raw clock (probability 1).  A maskable gated
     edge switches with its own enable's signal probability; any other
     edge inherits the probability of its parent's net.
     """
-    eff: Dict[int, float] = {tree.root_id: 1.0}
+    eff: Dict[int, Probability] = {tree.root_id: 1.0}
     for node in tree.preorder():
         if node.id == tree.root_id:
             continue
@@ -55,7 +56,7 @@ def effective_enable_probabilities(tree: ClockTree) -> Dict[int, float]:
     return eff
 
 
-def _attached_cap(tree: ClockTree, node_id: int) -> float:
+def _attached_cap(tree: ClockTree, node_id: NodeId) -> CapacitanceFF:
     """Capacitance hanging directly at a node: sink load + child cell pins."""
     node = tree.node(node_id)
     if node.is_sink:
@@ -68,7 +69,7 @@ def _attached_cap(tree: ClockTree, node_id: int) -> float:
     return total
 
 
-def clock_tree_switched_cap(tree: ClockTree, tech: Technology) -> float:
+def clock_tree_switched_cap(tree: ClockTree, tech: Technology) -> SwitchedCap:
     """``W(T)`` of an embedded (possibly gated, possibly buffered) tree."""
     c = tech.unit_wire_capacitance
     a_clk = tech.clock_transitions_per_cycle

@@ -97,6 +97,7 @@ from repro.obs import (
 from repro.cts.merge import SplitResult, Tap, merge_regions, zero_skew_split
 from repro.cts.topology import ClockNode, ClockTree, Sink
 from repro.geometry.point import Point
+from repro.quantity import LengthUm, Probability
 from repro.tech.parameters import GateModel, Technology
 
 try:  # NumPy is a declared dependency, but the scalar engine must stay
@@ -132,8 +133,8 @@ class CellPolicy:
     def decide(
         self,
         child: ClockNode,
-        merged_probability: Optional[float],
-        distance: float,
+        merged_probability: Optional[Probability],
+        distance: LengthUm,
         tech: Technology,
     ) -> CellDecision:
         raise NotImplementedError
@@ -188,12 +189,12 @@ class MergePlan:
 
     a_id: int
     b_id: int
-    distance: float
+    distance: LengthUm
     decision_a: CellDecision
     decision_b: CellDecision
     split: SplitResult
     merged_mask: int
-    merged_probability: Optional[float]
+    merged_probability: Optional[Probability]
 
 
 @dataclass
@@ -277,14 +278,14 @@ logger = logging.getLogger(__name__)
 _LOWER_BOUND_MARGIN = 1.0 - 1e-12
 
 
-def nearest_neighbor_cost(plan: MergePlan, merger: "BottomUpMerger") -> float:
+def nearest_neighbor_cost(plan: MergePlan, merger: "BottomUpMerger") -> LengthUm:
     """Geometric distance between merging segments (Edahiro-style)."""
     return plan.distance
 
 
 def _nearest_neighbor_lower_bound(
-    merger: "BottomUpMerger", na: ClockNode, nb: ClockNode, distance: float
-) -> float:
+    merger: "BottomUpMerger", na: ClockNode, nb: ClockNode, distance: LengthUm
+) -> LengthUm:
     """The distance *is* the cost, so the bound is exact."""
     return distance
 

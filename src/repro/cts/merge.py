@@ -32,6 +32,7 @@ from typing import Optional
 
 from repro.check.errors import GeometryError, SkewBalanceError
 from repro.geometry.trr import Trr
+from repro.quantity import CapacitanceFF, DelayPs, LengthUm, ResistanceOhm
 from repro.tech.parameters import GateModel, Technology
 
 _EPS = 1e-12
@@ -57,28 +58,28 @@ __all__ = [
 class Tap:
     """One side of a merge: the subtree plus the cell on its new edge."""
 
-    cap: float
+    cap: CapacitanceFF
     """Capacitance presented at the subtree root from below, pF."""
 
-    delay: float
+    delay: DelayPs
     """Zero-skew delay from the subtree root to its sinks."""
 
     cell: Optional[GateModel] = None
     """Cell (gate or buffer) at the top of the new edge, if any."""
 
     @property
-    def drive_resistance(self) -> float:
+    def drive_resistance(self) -> ResistanceOhm:
         return self.cell.drive_resistance if self.cell else 0.0
 
     @property
-    def intrinsic_delay(self) -> float:
+    def intrinsic_delay(self) -> DelayPs:
         return self.cell.intrinsic_delay if self.cell else 0.0
 
-    def unloaded_delay(self) -> float:
+    def unloaded_delay(self) -> DelayPs:
         """``t' = D + R * C + t``: delay through a zero-length edge."""
         return self.intrinsic_delay + self.drive_resistance * self.cap + self.delay
 
-    def edge_delay(self, length: float, tech: Technology) -> float:
+    def edge_delay(self, length: LengthUm, tech: Technology) -> DelayPs:
         """``f(x)``: delay from the edge top down to the sinks."""
         r = tech.unit_wire_resistance
         c = tech.unit_wire_capacitance
@@ -89,7 +90,7 @@ class Tap:
             + self.delay
         )
 
-    def presented_cap(self, length: float, tech: Technology) -> float:
+    def presented_cap(self, length: LengthUm, tech: Technology) -> CapacitanceFF:
         """Capacitance the new edge shows to the merge point."""
         if self.cell is not None:
             return self.cell.input_cap
@@ -100,36 +101,36 @@ class Tap:
 class SplitResult:
     """Outcome of a zero-skew split."""
 
-    length_a: float
-    length_b: float
-    delay: float
+    length_a: LengthUm
+    length_b: LengthUm
+    delay: DelayPs
     """Common delay from the merge point down to every sink."""
 
-    presented_a: float
-    presented_b: float
+    presented_a: CapacitanceFF
+    presented_b: CapacitanceFF
     snaked: Optional[str] = None
     """``"a"`` / ``"b"`` when that side's wire was extended, else None."""
 
-    delay_min: Optional[float] = None
+    delay_min: Optional[DelayPs] = None
     """Earliest merged sink delay; ``None`` means equal to ``delay``
     (exact zero skew).  Set by bounded-skew splits."""
 
     @property
-    def earliest_delay(self) -> float:
+    def earliest_delay(self) -> DelayPs:
         """The merged interval's low edge."""
         return self.delay if self.delay_min is None else self.delay_min
 
     @property
-    def merged_cap(self) -> float:
+    def merged_cap(self) -> CapacitanceFF:
         """Capacitance presented at the new merge node from below."""
         return self.presented_a + self.presented_b
 
     @property
-    def total_length(self) -> float:
+    def total_length(self) -> LengthUm:
         return self.length_a + self.length_b
 
 
-def _snake_length(fast: Tap, target_delay: float, tech: Technology) -> float:
+def _snake_length(fast: Tap, target_delay: DelayPs, tech: Technology) -> LengthUm:
     """Wirelength making the fast side as slow as ``target_delay``.
 
     Solves ``(rc/2) l^2 + (R c + r C) l + (t' - target) = 0`` for the
@@ -154,7 +155,7 @@ def _snake_length(fast: Tap, target_delay: float, tech: Technology) -> float:
     return (-lin + math.sqrt(disc)) / (2.0 * quad)
 
 
-def zero_skew_split(length: float, tap_a: Tap, tap_b: Tap, tech: Technology) -> SplitResult:
+def zero_skew_split(length: LengthUm, tap_a: Tap, tap_b: Tap, tech: Technology) -> SplitResult:
     """Split merging distance ``length`` so both sides see equal delay.
 
     ``length == 0`` (co-located subtree roots, e.g. two sinks at the

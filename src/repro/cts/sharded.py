@@ -344,7 +344,11 @@ def route_shards(
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_initializer
     ) as pool:
-        shards = list(pool.map(_pool_route_shard, payloads))
+        # Workers reach the tracer/registry through build_gated_tree's
+        # spans, but _worker_initializer installs a disabled tracer and
+        # a fresh registry per worker first, and the shard registries
+        # are merged parent-side after the join.
+        shards = list(pool.map(_pool_route_shard, payloads))  # repro: noqa[REP011]
     shards.sort(key=lambda s: s.index)
     for shard in shards:
         if shard.registry is not None:

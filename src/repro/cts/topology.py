@@ -19,6 +19,7 @@ from repro.check.errors import EmbeddingAuditError, InputError
 from repro.check.errors import ContractError
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
+from repro.quantity import AreaUm2, CapacitanceFF, DelayPs, LengthUm, NodeId, Probability
 from repro.rc.elmore import EdgeElectrical, ElmoreEvaluator
 from repro.tech.parameters import GateModel, Technology
 
@@ -29,7 +30,7 @@ class Sink:
 
     name: str
     location: Point
-    load_cap: float
+    load_cap: CapacitanceFF
     module: int
     """Index of the module this sink clocks, for activity lookup."""
 
@@ -64,25 +65,25 @@ class ClockNode:
     placements when the router snaked the wire to balance skew.
     """
 
-    id: int
+    id: NodeId
     children: Tuple[int, ...]
     sink: Optional[Sink]
     merging_segment: Trr
-    parent: Optional[int] = None
-    edge_length: float = 0.0
+    parent: Optional[NodeId] = None
+    edge_length: LengthUm = 0.0
     edge_cell: Optional[GateModel] = None
     edge_maskable: bool = False
     """True when ``edge_cell`` is a masking gate driven by an enable."""
     location: Optional[Point] = None
     module_mask: int = 0
-    enable_probability: float = 1.0
-    enable_transition_probability: float = 0.0
-    subtree_cap: float = 0.0
+    enable_probability: Probability = 1.0
+    enable_transition_probability: Probability = 0.0
+    subtree_cap: CapacitanceFF = 0.0
     """Capacitance presented at this node from below (router-computed)."""
-    sink_delay: float = 0.0
+    sink_delay: DelayPs = 0.0
     """Latest delay from this node down to its sinks (router-computed;
     under exact zero skew every sink shares this value)."""
-    sink_delay_min: float = 0.0
+    sink_delay_min: DelayPs = 0.0
     """Earliest delay to a sink; equals ``sink_delay`` for zero-skew
     trees, may be up to the skew bound lower for bounded-skew trees."""
     snaked: bool = False
@@ -217,7 +218,7 @@ class ClockTree:
     # ------------------------------------------------------------------
     # aggregate metrics
     # ------------------------------------------------------------------
-    def total_wirelength(self) -> float:
+    def total_wirelength(self) -> LengthUm:
         """Electrical wirelength of the clock tree (snaking included)."""
         root = self.root_id
         return sum(n.edge_length for n in self._nodes if n.id != root)
@@ -229,7 +230,7 @@ class ClockTree:
         root = self.root_id
         return sum(1 for n in self._nodes if n.id != root and n.edge_cell is not None)
 
-    def cell_area(self) -> float:
+    def cell_area(self) -> AreaUm2:
         root = self.root_id
         return sum(
             n.edge_cell.area
@@ -260,11 +261,11 @@ class ClockTree:
             children[n.id] = list(n.children)
         return ElmoreEvaluator(edges=edges, children=children, tech=self._tech)
 
-    def skew(self) -> float:
+    def skew(self) -> DelayPs:
         """Recomputed (non-incremental) Elmore skew of the tree."""
         return self.elmore_evaluator().skew()
 
-    def phase_delay(self) -> float:
+    def phase_delay(self) -> DelayPs:
         """Recomputed root-to-sink Elmore delay."""
         return self.elmore_evaluator().max_delay()
 

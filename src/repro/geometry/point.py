@@ -12,34 +12,36 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.quantity import LengthUm
+
 
 @dataclass(frozen=True)
 class Point:
     """An immutable point ``(x, y)`` in the layout plane."""
 
-    x: float
-    y: float
+    x: LengthUm
+    y: LengthUm
 
     @property
-    def u(self) -> float:
+    def u(self) -> LengthUm:
         """Rotated coordinate ``x + y``."""
         return self.x + self.y
 
     @property
-    def v(self) -> float:
+    def v(self) -> LengthUm:
         """Rotated coordinate ``x - y``."""
         return self.x - self.y
 
     @staticmethod
-    def from_uv(u: float, v: float) -> "Point":
+    def from_uv(u: LengthUm, v: LengthUm) -> "Point":
         """Build a point from rotated coordinates."""
         return Point((u + v) / 2.0, (u - v) / 2.0)
 
-    def manhattan_to(self, other: "Point") -> float:
+    def manhattan_to(self, other: "Point") -> LengthUm:
         """Manhattan (L1) distance to ``other``."""
         return abs(self.x - other.x) + abs(self.y - other.y)
 
-    def euclidean_to(self, other: "Point") -> float:
+    def euclidean_to(self, other: "Point") -> LengthUm:
         """Euclidean (L2) distance to ``other``."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
@@ -47,11 +49,11 @@ class Point:
         """The point halfway between ``self`` and ``other``."""
         return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
 
-    def translated(self, dx: float, dy: float) -> "Point":
+    def translated(self, dx: LengthUm, dy: LengthUm) -> "Point":
         """A copy shifted by ``(dx, dy)``."""
         return Point(self.x + dx, self.y + dy)
 
-    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+    def is_close(self, other: "Point", tol: LengthUm = 1e-9) -> bool:
         """True when both coordinates match within ``tol``."""
         return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
 
@@ -60,6 +62,6 @@ class Point:
         yield self.y
 
 
-def manhattan_distance(a: Point, b: Point) -> float:
+def manhattan_distance(a: Point, b: Point) -> LengthUm:
     """Manhattan (L1) distance between two points."""
     return a.manhattan_to(b)

@@ -27,6 +27,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.check.errors import GeometryError
 from repro.geometry.point import Point
+from repro.quantity import LengthUm
 
 _EPS = 1e-9
 
@@ -59,10 +60,10 @@ class Trr:
     tolerance; the constructor snaps tiny negative extents to zero).
     """
 
-    ulo: float
-    uhi: float
-    vlo: float
-    vhi: float
+    ulo: LengthUm
+    uhi: LengthUm
+    vlo: LengthUm
+    vhi: LengthUm
 
     def __post_init__(self) -> None:
         if self.ulo - self.uhi > _EPS or self.vlo - self.vhi > _EPS:
@@ -79,7 +80,7 @@ class Trr:
     # constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def from_point(p: Point, radius: float = 0.0) -> "Trr":
+    def from_point(p: Point, radius: LengthUm = 0.0) -> "Trr":
         """The TRR of all points within ``radius`` of ``p`` (L1 ball)."""
         if radius < 0:
             raise GeometryError("radius must be non-negative")
@@ -106,11 +107,11 @@ class Trr:
         return (self.ulo, self.uhi, self.vlo, self.vhi)
 
     @property
-    def u_extent(self) -> float:
+    def u_extent(self) -> LengthUm:
         return self.uhi - self.ulo
 
     @property
-    def v_extent(self) -> float:
+    def v_extent(self) -> LengthUm:
         return self.vhi - self.vlo
 
     @property
@@ -169,13 +170,13 @@ class Trr:
     # ------------------------------------------------------------------
     # metric operations
     # ------------------------------------------------------------------
-    def distance_to_point(self, p: Point) -> float:
+    def distance_to_point(self, p: Point) -> LengthUm:
         """Manhattan distance from ``p`` to the nearest point of the region."""
         gu = _interval_gap(self.ulo, self.uhi, p.u, p.u)
         gv = _interval_gap(self.vlo, self.vhi, p.v, p.v)
         return max(gu, gv)
 
-    def distance_to(self, other: "Trr") -> float:
+    def distance_to(self, other: "Trr") -> LengthUm:
         """Minimum Manhattan distance between two regions (0 if they meet)."""
         gu = _interval_gap(self.ulo, self.uhi, other.ulo, other.uhi)
         gv = _interval_gap(self.vlo, self.vhi, other.vlo, other.vhi)
@@ -201,7 +202,7 @@ class Trr:
     # ------------------------------------------------------------------
     # constructive operations
     # ------------------------------------------------------------------
-    def core(self, radius: float) -> "Trr":
+    def core(self, radius: LengthUm) -> "Trr":
         """Minkowski expansion by an L1 ball of the given radius."""
         if radius < 0:
             raise GeometryError("radius must be non-negative")

@@ -12,11 +12,16 @@ Usage::
     gated-cts lint --format json         # machine-readable report
     gated-cts lint --update-baseline     # grandfather current findings
     gated-cts lint src/repro/cts         # restrict the scan
+    gated-cts lint --select REP003,REP011 benchmarks
+                                         # only some rules, other roots
+    gated-cts lint --explain REP008      # what a rule means and why
+    gated-cts lint --check-noqa          # fail on stale suppressions
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 from typing import List, Optional
@@ -25,6 +30,7 @@ from repro.check.errors import InputError
 from repro.lint.baseline import BASELINE_FILENAME, Baseline
 from repro.lint.engine import run_lint
 from repro.lint.report import render_json, render_text
+from repro.lint.rules import default_rules, rule_catalog
 
 #: Default scan target, relative to the project root.
 DEFAULT_TARGET = os.path.join("src", "repro")
@@ -62,10 +68,71 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="project root for relative paths and the parity-test "
         "lookup (default: current directory)",
     )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE",
+        help="print what a rule checks and why, then exit",
+    )
+    parser.add_argument(
+        "--check-noqa",
+        action="store_true",
+        help="also fail (exit 1) on '# repro: noqa' comments that "
+        "suppress nothing; incompatible with --select, since a "
+        "partial rule set cannot tell live suppressions from stale",
+    )
+
+
+def explain_rule(code: str) -> int:
+    """Print the full documentation of one rule code."""
+    catalog = rule_catalog()
+    rule = catalog.get(code.strip().upper())
+    if rule is None:
+        raise InputError(
+            "unknown rule code (known: %s)" % ", ".join(sorted(catalog)),
+            source=code,
+        )
+    print("%s: %s" % (rule.code, rule.title))
+    print()
+    print("rationale: %s" % rule.rationale)
+    doc = inspect.getdoc(type(rule))
+    if doc:
+        print()
+        print(doc)
+    return 0
+
+
+def _selected_rules(select: str, root: str) -> List[object]:
+    wanted = {c.strip().upper() for c in select.split(",") if c.strip()}
+    if not wanted:
+        raise InputError("empty --select", source=select)
+    catalog = default_rules(root)
+    known = {rule.code for rule in catalog}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise InputError(
+            "unknown rule code(s): %s (known: %s)"
+            % (", ".join(unknown), ", ".join(sorted(known))),
+            source="--select",
+        )
+    return [rule for rule in catalog if rule.code in wanted]
 
 
 def run_lint_cli(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.explain is not None:
+        return explain_rule(args.explain)
+    if args.check_noqa and args.select:
+        raise InputError(
+            "--check-noqa needs the full rule set; drop --select",
+            source="--check-noqa",
+        )
     root = os.path.abspath(args.root or os.getcwd())
     paths = list(args.paths)
     if not paths:
@@ -75,11 +142,14 @@ def run_lint_cli(args: argparse.Namespace) -> int:
                 "no paths given and default target missing", source=default
             )
         paths = [default]
+    rules = None
+    if args.select:
+        rules = _selected_rules(args.select, root)
     baseline_path = args.baseline or os.path.join(root, BASELINE_FILENAME)
     baseline: Optional[Baseline] = None
     if not args.update_baseline and os.path.exists(baseline_path):
         baseline = Baseline.load(baseline_path)
-    result = run_lint(paths, project_root=root, baseline=baseline)
+    result = run_lint(paths, project_root=root, rules=rules, baseline=baseline)
     if args.update_baseline:
         Baseline.from_findings(result.findings).save(baseline_path)
         print("baseline written to %s (%d entr(y/ies))" % (
@@ -89,6 +159,10 @@ def run_lint_cli(args: argparse.Namespace) -> int:
         sys.stdout.write(render_json(result))
     else:
         print(render_text(result))
+    if args.check_noqa and result.stale_noqa:
+        for entry in result.stale_noqa:
+            print(entry.diagnostic())
+        return 1
     return 0 if result.clean else 1
 
 

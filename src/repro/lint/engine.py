@@ -1,28 +1,38 @@
 """File discovery, suppression handling and the lint run itself.
 
 The engine walks the requested paths, parses every ``.py`` file once,
-runs the rule catalog over each module, drops findings suppressed by
-``# repro: noqa[...]`` comments, and (optionally) subtracts a
-committed baseline.  Nothing under analysis is imported; a file that
-does not parse raises :class:`repro.check.errors.InputError` carrying
-the offending path and line, which the CLI maps to exit code 2.
+runs the per-module rule catalog over each file, then hands the whole
+parsed set to the project rules (the interprocedural quantity and
+fork-safety analyses) through a shared
+:class:`~repro.lint.project.ProjectContext`.  Findings suppressed by
+``# repro: noqa[...]`` comments are dropped -- and the engine tracks
+which suppression comments actually matched something, so the CLI's
+``--check-noqa`` mode can flag stale ones.  A committed baseline is
+(optionally) subtracted last.  Nothing under analysis is imported; a
+file that does not parse raises
+:class:`repro.check.errors.InputError` carrying the offending path and
+line, which the CLI maps to exit code 2.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.check.errors import InputError
 from repro.lint.baseline import Baseline
-from repro.lint.model import Finding, ModuleSource, Rule
+from repro.lint.model import Finding, ModuleSource, ProjectRule, Rule
+from repro.lint.project import ProjectContext
 from repro.lint.rules import default_rules
 
-#: ``# repro: noqa`` (all rules) or ``# repro: noqa[REP001,REP003]``.
+#: Matches a ``repro``-style noqa comment: bare (all rules) or with a
+#: bracketed code list such as ``[REP001,REP003]``.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]*)\])?")
 
 
@@ -62,10 +72,29 @@ def parse_module(path: str, project_root: str) -> ModuleSource:
     return ModuleSource(path=rel, source=source, tree=tree, lines=source.splitlines())
 
 
+def _comment_lines(module: ModuleSource) -> Dict[int, str]:
+    """1-based line -> comment text, for *real* comments only.
+
+    Tokenizing keeps ``# repro: noqa`` mentions inside strings and
+    docstrings (this module's own docs, rule rationales) from being
+    read as live suppressions; if tokenization fails the raw lines are
+    scanned instead, which can only over-approximate.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        return {
+            token.start[0]: token.string
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return dict(enumerate(module.lines, start=1))
+
+
 def suppressions_for(module: ModuleSource) -> Dict[int, Optional[Set[str]]]:
     """Per-line suppression map: line -> codes (``None`` = all rules)."""
     table: Dict[int, Optional[Set[str]]] = {}
-    for lineno, text in enumerate(module.lines, start=1):
+    for lineno, text in _comment_lines(module).items():
         match = _NOQA_RE.search(text)
         if match is None:
             continue
@@ -86,6 +115,24 @@ def is_suppressed(
     return codes is None or finding.rule in codes
 
 
+@dataclass(frozen=True)
+class StaleNoqa:
+    """A ``# repro: noqa`` comment that suppressed nothing this run."""
+
+    path: str
+    line: int
+    codes: Optional[Tuple[str, ...]]  #: ``None`` = blanket suppression
+    snippet: str
+
+    def diagnostic(self) -> str:
+        scope = "all rules" if self.codes is None else ",".join(self.codes)
+        return "%s: line %d: stale suppression [%s] matched no finding" % (
+            self.path,
+            self.line,
+            scope,
+        )
+
+
 @dataclass
 class LintResult:
     """Outcome of one lint run (post suppression and baseline)."""
@@ -96,6 +143,8 @@ class LintResult:
     baselined: int = 0
     #: baseline entries that matched nothing (stale; prune them)
     stale_baseline: int = 0
+    #: suppression comments that matched nothing (see ``--check-noqa``)
+    stale_noqa: List[StaleNoqa] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -116,25 +165,73 @@ def run_lint(
     """Lint ``paths`` and return the surviving findings.
 
     ``project_root`` anchors relative paths (and the REP005 parity
-    test lookup); it defaults to the current directory.  ``baseline``
+    test lookup); it defaults to the current directory.  Per-module
+    rules run file by file; :class:`~repro.lint.model.ProjectRule`
+    instances run once over the whole parsed set, sharing a
+    :class:`~repro.lint.project.ProjectContext`.  ``baseline``
     findings are subtracted with multiplicity: two identical findings
     with one baseline entry report one new finding.
     """
     root = os.path.abspath(project_root or os.getcwd())
     active_rules = list(rules) if rules is not None else default_rules(root)
+    module_rules = [r for r in active_rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active_rules if isinstance(r, ProjectRule)]
     result = LintResult()
-    raw: List[Finding] = []
+
+    modules: List[ModuleSource] = []
+    seen_paths: Set[str] = set()
     for path in iter_python_files(paths):
         module = parse_module(path, root)
-        result.files_scanned += 1
-        table = suppressions_for(module)
-        for rule in active_rules:
+        if module.path in seen_paths:
+            continue
+        seen_paths.add(module.path)
+        modules.append(module)
+    result.files_scanned = len(modules)
+
+    tables: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+    by_path: Dict[str, ModuleSource] = {}
+    for module in modules:
+        tables[module.path] = suppressions_for(module)
+        by_path[module.path] = module
+
+    raw: List[Finding] = []
+    used_suppressions: Set[Tuple[str, int]] = set()
+
+    def consider(finding: Finding) -> None:
+        table = tables.get(finding.path)
+        if table is not None and is_suppressed(finding, table):
+            used_suppressions.add((finding.path, finding.line))
+            result.suppressed += 1
+        else:
+            raw.append(finding)
+
+    for module in modules:
+        for rule in module_rules:
             for finding in rule.check(module):
-                if is_suppressed(finding, table):
-                    result.suppressed += 1
-                else:
-                    raw.append(finding)
+                consider(finding)
+    if project_rules and modules:
+        context = ProjectContext(modules)
+        for rule in project_rules:
+            for finding in rule.check_project(context):
+                consider(finding)
+
     raw.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+
+    for path in sorted(tables):
+        module = by_path[path]
+        for lineno in sorted(tables[path]):
+            if (path, lineno) in used_suppressions:
+                continue
+            codes = tables[path][lineno]
+            result.stale_noqa.append(
+                StaleNoqa(
+                    path=path,
+                    line=lineno,
+                    codes=tuple(sorted(codes)) if codes is not None else None,
+                    snippet=module.line_at(lineno),
+                )
+            )
+
     if baseline is None:
         result.findings = raw
         return result

@@ -1,0 +1,350 @@
+"""Fork-safety analysis of process-pool usage (REP011 / REP012).
+
+The sharded router (PR 8) runs workers under
+``concurrent.futures.ProcessPoolExecutor``.  Two classes of bug only
+show up under real multi-process runs and are miserable to debug:
+
+* **REP011** -- a worker function *reaches* process-global
+  observability state (the span tracer, the metrics registry, the run
+  ledger, tracemalloc) through any chain of project calls.  Each
+  worker is a fresh process: parent-side tracers silently record into
+  a buffer nobody ever drains, ledgers write half-formed rows, and
+  tracemalloc doubles peak memory in every worker.  The rule walks the
+  :class:`~repro.lint.project.ProjectIndex` call graph from every
+  submitted function (and pool initializer) and reports the offending
+  call chain at the submission site.  A worker initializer that
+  *resets* the state (``set_tracer``, ``set_registry``,
+  ``tracemalloc.stop``) is the sanctioned pattern and is not flagged
+  -- the mitigating calls are deliberately absent from the catalog.
+
+* **REP012** -- a value known not to survive pickling flows into a
+  submission: lambdas and nested functions (unpicklable by
+  construction), generator expressions, open file handles, and
+  instances of catalogued classes such as
+  :class:`~repro.activity.probability.ActivityOracle`, whose
+  per-instance ``lru_cache`` wrappers cannot be pickled (ship
+  ``oracle.tables`` and rebuild worker-side instead).  Arguments are
+  checked one hop deep: the expression itself, and -- for a plain name
+  -- the value it was last assigned in the enclosing function.
+
+Both rules fire at the ``submit``/``map`` call so a single suppression
+comment can acknowledge a reviewed site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint import quantities as Q
+from repro.lint.model import qualified_name
+from repro.lint.project import FunctionInfo, ProjectIndex
+from repro.lint.quantity import RawFinding
+
+__all__ = ["ForkSafetyAnalysis", "SubmissionSite", "analyze_fork_safety"]
+
+#: Qualified names that construct a process pool.
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+#: Pool methods that ship a callable (+ arguments) to a worker process.
+_SUBMIT_METHODS = frozenset({"submit", "map", "imap", "imap_unordered", "starmap", "apply_async"})
+
+
+@dataclass
+class SubmissionSite:
+    """One ``pool.submit(...)`` / ``pool.map(...)`` call."""
+
+    function: FunctionInfo  #: the enclosing (parent-side) function
+    node: ast.Call  #: the submit/map call expression
+    method: str
+    worker: Optional[ast.AST]  #: first argument: the shipped callable
+    payload: Sequence[ast.AST] = ()  #: remaining arguments
+
+
+def _is_pool_constructor(resolved: Optional[str]) -> bool:
+    if resolved is None:
+        return False
+    if resolved in _POOL_CONSTRUCTORS:
+        return True
+    return resolved.rsplit(".", 1)[-1] == "ProcessPoolExecutor"
+
+
+class ForkSafetyAnalysis:
+    """Collect submission sites, walk worker call graphs, emit findings."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+
+    # ------------------------------------------------------------------
+    # site discovery
+    # ------------------------------------------------------------------
+    def _pool_bindings(
+        self, function: FunctionInfo
+    ) -> Tuple[Set[str], List[Tuple[ast.Call, ast.AST]]]:
+        """Names bound to pool instances, and ``initializer=`` roots.
+
+        Returns ``(pool_names, initializers)`` where each initializer
+        entry is ``(constructor call, initializer expression)``.
+        """
+        constructor_nodes: Set[int] = set()
+        initializers: List[Tuple[ast.Call, ast.AST]] = []
+        for site in function.calls:
+            if not _is_pool_constructor(site.resolved):
+                continue
+            constructor_nodes.add(id(site.node))
+            for keyword in site.node.keywords:
+                if keyword.arg == "initializer":
+                    initializers.append((site.node, keyword.value))
+        pool_names: Set[str] = set()
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Call) and id(node.value) in constructor_nodes:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            pool_names.add(target.id)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and id(item.context_expr) in constructor_nodes
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        pool_names.add(item.optional_vars.id)
+        return pool_names, initializers
+
+    def _submission_sites(
+        self, function: FunctionInfo
+    ) -> Tuple[List[SubmissionSite], List[Tuple[ast.Call, ast.AST]]]:
+        pool_names, initializers = self._pool_bindings(function)
+        sites: List[SubmissionSite] = []
+        if not pool_names and not initializers:
+            return sites, initializers
+        for call_site in function.calls:
+            node = call_site.node
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _SUBMIT_METHODS:
+                continue
+            receiver = node.func.value
+            if not (isinstance(receiver, ast.Name) and receiver.id in pool_names):
+                continue
+            worker = node.args[0] if node.args else None
+            sites.append(
+                SubmissionSite(
+                    function=function,
+                    node=node,
+                    method=node.func.attr,
+                    worker=worker,
+                    payload=list(node.args[1:]),
+                )
+            )
+        return sites, initializers
+
+    # ------------------------------------------------------------------
+    # REP011: reachable global state
+    # ------------------------------------------------------------------
+    def _resolve_worker(
+        self, function: FunctionInfo, expr: Optional[ast.AST]
+    ) -> Optional[FunctionInfo]:
+        if expr is None:
+            return None
+        resolved = self.index.resolve_callable(function, expr)
+        return self.index.function_for(resolved)
+
+    def _unsafe_reaches(
+        self, root: FunctionInfo
+    ) -> Iterator[Tuple[str, str, List[str]]]:
+        """(unsafe call name, hazard, call chain) reachable from root."""
+        parents, order = self.index.reachable_from([root])
+        seen: Set[Tuple[str, str]] = set()
+        for function in order:
+            for site in function.calls:
+                if site.resolved is None:
+                    continue
+                hazard = Q.UNSAFE_WORKER_CALLS.get(site.resolved)
+                if hazard is None:
+                    continue
+                key = (root.qualname, hazard)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = self.index.call_chain(parents, function.qualname)
+                chain.append(site.resolved.rsplit(".", 1)[-1] + "()")
+                yield site.resolved, hazard, chain
+
+    def _emit_worker_findings(
+        self,
+        findings: List[RawFinding],
+        function: FunctionInfo,
+        anchor: ast.AST,
+        root: FunctionInfo,
+        role: str,
+    ) -> None:
+        for _name, hazard, chain in self._unsafe_reaches(root):
+            findings.append(
+                RawFinding(
+                    code="REP011",
+                    module=function.module.source,
+                    node=anchor,
+                    message=(
+                        "%s %s() reaches %s in a worker process via %s; "
+                        "reset it in the pool initializer or strip the "
+                        "call from the worker path"
+                        % (
+                            role,
+                            root.name,
+                            hazard,
+                            " -> ".join(part.rsplit(".", 1)[-1] for part in chain),
+                        )
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # REP012: unpicklable payloads
+    # ------------------------------------------------------------------
+    def _assigned_values(self, function: FunctionInfo) -> Dict[str, ast.AST]:
+        """Last assigned value expression per local name (one hop)."""
+        values: Dict[str, ast.AST] = {}
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        values[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    values[node.target.id] = node.value
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        values[item.optional_vars.id] = item.context_expr
+        return values
+
+    def _unpicklable_reason(
+        self,
+        function: FunctionInfo,
+        expr: ast.AST,
+        assigned: Dict[str, ast.AST],
+        depth: int = 0,
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Lambda):
+            return "a lambda cannot be pickled into a worker"
+        if isinstance(expr, ast.GeneratorExp):
+            return "a generator cannot be pickled into a worker"
+        if isinstance(expr, ast.Name):
+            if expr.id in function.nested_names:
+                return (
+                    "nested function %r cannot be pickled into a worker "
+                    "(move it to module scope)" % expr.id
+                )
+            if depth == 0 and expr.id in assigned:
+                return self._unpicklable_reason(
+                    function, assigned[expr.id], assigned, depth=1
+                )
+            return None
+        if isinstance(expr, ast.Call):
+            resolved = self.index.resolve_callable(function, expr.func)
+            candidates = [resolved] if resolved else []
+            dotted = qualified_name(expr.func)
+            if dotted is not None:
+                candidates.append(dotted)
+            for candidate in candidates:
+                if candidate == "builtins.open" or candidate == "open":
+                    return "an open file handle cannot be pickled into a worker"
+                fix = Q.UNPICKLABLE_CLASSES.get(candidate)
+                if fix is None:
+                    fix = Q.UNPICKLABLE_CLASSES.get(candidate.rsplit(".", 1)[-1])
+                if fix is not None:
+                    return "%s instances cannot be pickled into a worker (%s)" % (
+                        candidate.rsplit(".", 1)[-1],
+                        fix,
+                    )
+            return None
+        return None
+
+    def _class_typed_params(self, function: FunctionInfo) -> Dict[str, str]:
+        """Parameter name -> annotated class name, for catalogued types."""
+        typed: Dict[str, str] = {}
+        args = function.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            dotted = (
+                qualified_name(arg.annotation)
+                if isinstance(arg.annotation, (ast.Name, ast.Attribute))
+                else None
+            )
+            if dotted is None:
+                continue
+            bare = dotted.rsplit(".", 1)[-1]
+            if bare in Q.UNPICKLABLE_CLASSES or dotted in Q.UNPICKLABLE_CLASSES:
+                typed[arg.arg] = bare
+        return typed
+
+    def _emit_payload_findings(
+        self, findings: List[RawFinding], site: SubmissionSite
+    ) -> None:
+        function = site.function
+        assigned = self._assigned_values(function)
+        typed_params = self._class_typed_params(function)
+        checked: List[ast.AST] = []
+        if site.worker is not None:
+            checked.append(site.worker)
+        checked.extend(site.payload)
+        seen: Set[str] = set()
+        for expr in checked:
+            reason = self._unpicklable_reason(function, expr, assigned)
+            if reason is None and isinstance(expr, ast.Name):
+                bare = typed_params.get(expr.id)
+                if bare is not None:
+                    fix = Q.UNPICKLABLE_CLASSES.get(bare, "")
+                    reason = "%s instances cannot be pickled into a worker (%s)" % (
+                        bare,
+                        fix,
+                    )
+            if reason is None or reason in seen:
+                continue
+            seen.add(reason)
+            findings.append(
+                RawFinding(
+                    code="REP012",
+                    module=function.module.source,
+                    node=site.node,
+                    message="%s() payload: %s" % (site.method, reason),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> List[RawFinding]:
+        findings: List[RawFinding] = []
+        for function in self.index.iter_functions():
+            sites, initializers = self._submission_sites(function)
+            for constructor, init_expr in initializers:
+                root = self._resolve_worker(function, init_expr)
+                if root is not None:
+                    self._emit_worker_findings(
+                        findings, function, constructor, root, "pool initializer"
+                    )
+            for site in sites:
+                root = self._resolve_worker(function, site.worker)
+                if root is not None:
+                    self._emit_worker_findings(
+                        findings, function, site.node, root, "worker"
+                    )
+                self._emit_payload_findings(findings, site)
+        return findings
+
+
+def analyze_fork_safety(index: ProjectIndex) -> List[RawFinding]:
+    """Convenience wrapper mirroring :func:`analyze_project`."""
+    return ForkSafetyAnalysis(index).run()

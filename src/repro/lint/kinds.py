@@ -1,0 +1,261 @@
+"""The quantity-kind lattice and its composition algebra.
+
+A :class:`Kind` is a dimension vector over the base dimensions of the
+routing flow's cost algebra:
+
+===========  ====================================================
+``L``        length (layout units)
+``C``        capacitance (pF)
+``R``        resistance (ohm)
+``P``        probability / activity weighting
+``N``        node identity (discrete, never composed)
+``K``        cardinality (discrete multiplier)
+===========  ====================================================
+
+Named kinds are points in that vector space: ``capacitance_fF`` is
+``C^1``, ``delay_ps`` is ``R^1 C^1`` (an Elmore product),
+``switched_cap`` is ``P^1 C^1`` (probability-weighted capacitance per
+cycle), ``cap_per_length`` is ``C^1 L^-1``, and so on.  The algebra
+then falls out of exponent arithmetic:
+
+* ``mul`` / ``div`` add / subtract exponents, so
+  ``cap_per_length * length_um -> capacitance_fF`` and
+  ``probability * capacitance_fF -> switched_cap`` hold by
+  construction.  The ``P`` exponent saturates at one (a product of
+  probabilities is still a probability) and the discrete count
+  dimension ``K`` is dropped (multiplying by a cardinality rescales a
+  quantity, it does not change its kind).  ``node_id`` never composes
+  multiplicatively; any product involving it is ``None`` (unknown).
+* ``add`` / ``sub`` / ``compare`` require matching vectors.
+  ``dimensionless`` (the empty vector) is additively compatible with
+  everything -- literal offsets, epsilons and accumulator seeds like
+  ``total = 0.0`` must not fire -- and the discrete kinds
+  ``node_id`` / ``count`` mix freely with each other (id arithmetic:
+  ``nid + offset``, ``nid_a - nid_b``).
+* ``unknown`` is represented by ``None`` and is absorbing: anything
+  composed with an unknown stays unknown, and compatibility checks
+  involving an unknown never fire.  This is what keeps the analysis
+  quiet on unannotated code ("unknown propagates without cascading
+  noise").
+
+The functions in this module are pure and total; they are exercised
+directly by the hypothesis property tests in
+``tests/test_lint_kinds.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "DIMENSIONLESS",
+    "Kind",
+    "NAMED_KINDS",
+    "add",
+    "comparable",
+    "display",
+    "divide",
+    "join",
+    "multiply",
+    "named",
+    "power",
+    "sqrt",
+]
+
+#: Base dimensions, in canonical display order.
+_BASES = ("L", "C", "R", "P", "N", "K")
+
+#: Discrete dimensions: identity-like, excluded from the vector algebra.
+_DISCRETE = ("N", "K")
+
+
+@dataclass(frozen=True)
+class Kind:
+    """A quantity kind: a sorted, zero-free dimension-exponent vector."""
+
+    dims: Tuple[Tuple[str, int], ...] = ()
+
+    def exponent(self, base: str) -> int:
+        for dim, exp in self.dims:
+            if dim == base:
+                return exp
+        return 0
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not self.dims
+
+    @property
+    def is_discrete(self) -> bool:
+        """A pure ``node_id`` / ``count`` kind (no physical dimension)."""
+        return bool(self.dims) and all(dim in _DISCRETE for dim, _ in self.dims)
+
+    def __str__(self) -> str:
+        return display(self)
+
+
+def _make(exponents: Dict[str, int]) -> Kind:
+    dims = tuple(
+        (base, exponents[base])
+        for base in _BASES
+        if exponents.get(base, 0) != 0
+    )
+    return Kind(dims=dims)
+
+
+#: The empty vector: a declared pure number.
+DIMENSIONLESS = Kind()
+
+#: Every named kind of the lattice, as seeded by ``repro.quantity``.
+NAMED_KINDS: Dict[str, Kind] = {
+    "dimensionless": DIMENSIONLESS,
+    "length_um": _make({"L": 1}),
+    "area_um2": _make({"L": 2}),
+    "capacitance_fF": _make({"C": 1}),
+    "cap_per_length": _make({"C": 1, "L": -1}),
+    "resistance_ohm": _make({"R": 1}),
+    "res_per_length": _make({"R": 1, "L": -1}),
+    "delay_ps": _make({"R": 1, "C": 1}),
+    "probability": _make({"P": 1}),
+    "switched_cap": _make({"P": 1, "C": 1}),
+    "node_id": _make({"N": 1}),
+    "count": _make({"K": 1}),
+}
+
+#: Reverse map for display; built once, deterministic (first name wins
+#: in the insertion order above, and the vectors are all distinct).
+_VECTOR_NAMES: Dict[Kind, str] = {}
+for _name, _kind in NAMED_KINDS.items():
+    _VECTOR_NAMES.setdefault(_kind, _name)
+
+
+def named(name: str) -> Optional[Kind]:
+    """The named kind, or ``None`` for unknown names."""
+    return NAMED_KINDS.get(name)
+
+
+def display(kind: Optional[Kind]) -> str:
+    """Human-readable form: the lattice name, else the dimension vector."""
+    if kind is None:
+        return "unknown"
+    label = _VECTOR_NAMES.get(kind)
+    if label is not None:
+        return label
+    parts = []
+    for base, exp in kind.dims:
+        parts.append(base if exp == 1 else "%s^%d" % (base, exp))
+    return "*".join(parts)
+
+
+def _normalize(exponents: Dict[str, int]) -> Optional[Kind]:
+    """Clamp / reduce a raw exponent vector after a product.
+
+    * ``P`` saturates at 1 (and floors at 0): products of probabilities
+      are probabilities, and dividing a probability-weighted quantity
+      by a probability recovers the unweighted kind at worst.
+    * ``K`` (count) is dropped: cardinalities scale, they don't type.
+    * any ``N`` (node id) involvement poisons the product to unknown.
+    """
+    if exponents.get("N", 0) != 0:
+        return None
+    exponents = dict(exponents)
+    exponents["K"] = 0
+    p = exponents.get("P", 0)
+    exponents["P"] = min(max(p, 0), 1)
+    return _make(exponents)
+
+
+def multiply(a: Optional[Kind], b: Optional[Kind]) -> Optional[Kind]:
+    """The kind of ``a * b`` (``None`` when either side is unknown)."""
+    if a is None or b is None:
+        return None
+    exponents = {base: a.exponent(base) + b.exponent(base) for base in _BASES}
+    return _normalize(exponents)
+
+
+def divide(a: Optional[Kind], b: Optional[Kind]) -> Optional[Kind]:
+    """The kind of ``a / b`` (``None`` when either side is unknown)."""
+    if a is None or b is None:
+        return None
+    exponents = {base: a.exponent(base) - b.exponent(base) for base in _BASES}
+    return _normalize(exponents)
+
+
+def power(a: Optional[Kind], exponent: int) -> Optional[Kind]:
+    """The kind of ``a ** exponent`` for an integer literal exponent."""
+    if a is None:
+        return None
+    exponents = {base: a.exponent(base) * exponent for base in _BASES}
+    return _normalize(exponents)
+
+
+def sqrt(a: Optional[Kind]) -> Optional[Kind]:
+    """The kind of ``sqrt(a)``: even vectors halve, others go unknown."""
+    if a is None:
+        return None
+    if a.is_dimensionless:
+        return DIMENSIONLESS
+    if any(exp % 2 for _, exp in a.dims):
+        return None
+    exponents = {base: a.exponent(base) // 2 for base in _BASES}
+    return _normalize(exponents)
+
+
+def _additive(a: Kind, b: Kind) -> Optional[Kind]:
+    """The merged kind of a legal ``a + b``; ``None`` when illegal."""
+    if a == b:
+        return a
+    if a.is_dimensionless:
+        return b
+    if b.is_dimensionless:
+        return a
+    if a.is_discrete and b.is_discrete:
+        # node ids absorb counts: nid + offset is still an id.
+        if a.exponent("N") or b.exponent("N"):
+            return NAMED_KINDS["node_id"]
+        return NAMED_KINDS["count"]
+    return None
+
+
+def add(
+    a: Optional[Kind], b: Optional[Kind]
+) -> Tuple[Optional[Kind], bool]:
+    """The kind of ``a + b`` / ``a - b`` and whether the mix is legal.
+
+    Unknown operands are always legal and keep the result unknown
+    (no cascading noise); the boolean is ``False`` exactly when both
+    kinds are known and incompatible.
+    """
+    if a is None or b is None:
+        return None, True
+    merged = _additive(a, b)
+    if merged is None:
+        return None, False
+    return merged, True
+
+
+def comparable(a: Optional[Kind], b: Optional[Kind]) -> bool:
+    """May ``a`` be ordered/equated against ``b``? (Same lattice rule
+    as addition: comparing a delay with a capacitance is meaningless.)
+    """
+    _, ok = add(a, b)
+    return ok
+
+
+def join(a: Optional[Kind], b: Optional[Kind]) -> Optional[Kind]:
+    """Least upper bound for merge points (branches, ``min``/``max``).
+
+    Equal kinds join to themselves, a dimensionless side yields to the
+    other (literal arms of a ``min`` / ternary), anything else is
+    unknown -- never a finding.
+    """
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if a.is_dimensionless:
+        return b
+    if b.is_dimensionless:
+        return a
+    return None

@@ -103,6 +103,24 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that inspects the whole scanned set at once.
+
+    Per-module rules see one file at a time; project rules (the
+    quantity and fork-safety analyses, REP008..REP012) need the cross-
+    module index the engine builds after parsing everything.  The
+    engine calls :meth:`check_project` once per run with a
+    ``repro.lint.project.ProjectContext``; expensive shared analyses
+    are memoized on the context so sibling rules reuse them.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, context: Any) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def qualified_name(node: ast.AST) -> Optional[str]:
     """Dotted name of a ``Name``/``Attribute`` chain, else ``None``.
 

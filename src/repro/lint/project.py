@@ -1,0 +1,401 @@
+"""Whole-project index: modules, imports, definitions, call graph.
+
+The per-module rules (REP001..REP007) see one file at a time; the
+quantity and fork-safety analyses (REP008..REP012) are *inter*\\
+procedural -- a kind inferred in ``repro.rc.elmore`` must flow through
+a call in ``repro.core.cost``, and a tracer touch three calls below a
+worker function must surface at the submission site.  This module
+builds the shared structure those analyses walk:
+
+* a dotted **module name** per scanned file (``src/repro/cts/dme.py``
+  -> ``repro.cts.dme``), so intra-project imports resolve;
+* per module, the **import map** (local binding -> qualified target,
+  including function-local imports) and the **definition index**
+  (functions, classes, methods, module-level assignments);
+* per function, every **call site** with its best-effort resolution:
+  a fully qualified name when the callee is reachable through the
+  import map / local definitions / ``self``, else the bare method
+  name for receiver-typed resolution by the analyses.
+
+Everything is pure AST -- nothing under analysis is imported -- and
+every container is built in deterministic (path, line) order.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.model import ModuleSource, qualified_name
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectIndex",
+    "module_name_for_path",
+]
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name of a project-relative posix path.
+
+    ``src/`` prefixes are stripped (the repo's layout), package
+    ``__init__`` files take the package name, and any remaining path
+    becomes its dotted form -- good enough for the scanned set to
+    cross-reference itself, which is all the analyses need.
+    """
+    name = path[:-3] if path.endswith(".py") else path
+    if name.startswith("src/"):
+        name = name[len("src/"):]
+    parts = [p for p in name.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    resolved: Optional[str]
+    """Fully qualified callee (``repro.obs.get_tracer``) when the
+    import map / local defs / ``self`` pin it down, else ``None``."""
+
+    attr: Optional[str]
+    """Bare method name for unresolved ``receiver.method(...)`` calls."""
+
+    receiver: Optional[ast.AST] = None
+    """The receiver expression of an attribute call, for typed
+    resolution by the analyses."""
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    nested_names: Set[str] = field(default_factory=set)
+    calls: List[CallSite] = field(default_factory=list)
+    uses_globals: Set[str] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def args(self) -> ast.arguments:
+        return self.node.args  # type: ignore[attr-defined]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and annotated fields."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    field_annotations: Dict[str, ast.AST] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One scanned module and its locally visible names."""
+
+    source: ModuleSource
+    name: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    mutable_globals: Set[str] = field(default_factory=set)
+    global_annotations: Dict[str, ast.AST] = field(default_factory=dict)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("dict", "list", "set", "defaultdict", "Counter", "deque")
+    )
+
+
+class ProjectIndex:
+    """Cross-module symbol and call-site index over the scanned set."""
+
+    def __init__(self, modules: Sequence[ModuleSource]):
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare method name -> qualnames of every project method so named
+        self.methods_by_name: Dict[str, List[str]] = {}
+        for source in modules:
+            info = ModuleInfo(source=source, name=module_name_for_path(source.path))
+            self.modules[info.name] = info
+        for info in self.modules.values():
+            self._collect_imports(info)
+            self._collect_definitions(info)
+        for info in self.modules.values():
+            for function in info.functions.values():
+                self._collect_calls(function)
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _collect_imports(self, info: ModuleInfo) -> None:
+        package = info.name.rsplit(".", 1)[0] if "." in info.name else ""
+        for node in ast.walk(info.source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    info.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    parts = info.name.split(".")
+                    # one level strips the module itself, further
+                    # levels strip enclosing packages
+                    base_parts = parts[: len(parts) - node.level]
+                    base = ".".join(base_parts)
+                    if node.module:
+                        base = base + "." + node.module if base else node.module
+                else:
+                    base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.imports[local] = (
+                        base + "." + alias.name if base else alias.name
+                    )
+
+    def _collect_definitions(self, info: ModuleInfo) -> None:
+        for node in info.source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(
+                    qualname=info.name + "." + node.name if info.name else node.name,
+                    module=info,
+                    node=node,
+                )
+                info.classes[node.name] = cls
+                self.classes[cls.qualname] = cls
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        function = self._add_function(
+                            info, item, class_name=node.name
+                        )
+                        cls.methods[item.name] = function
+                        self.methods_by_name.setdefault(item.name, []).append(
+                            function.qualname
+                        )
+                    elif isinstance(item, ast.AnnAssign) and isinstance(
+                        item.target, ast.Name
+                    ):
+                        cls.field_annotations[item.target.id] = item.annotation
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and _is_mutable_literal(
+                        node.value
+                    ):
+                        info.mutable_globals.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                info.global_annotations[node.target.id] = node.annotation
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        class_name: Optional[str],
+    ) -> FunctionInfo:
+        name = node.name  # type: ignore[attr-defined]
+        middle = class_name + "." if class_name else ""
+        qualname = (info.name + "." if info.name else "") + middle + name
+        function = FunctionInfo(
+            qualname=qualname, module=info, node=node, class_name=class_name
+        )
+        for inner in ast.walk(node):
+            if inner is node:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function.nested_names.add(inner.name)
+            elif isinstance(inner, ast.Global):
+                function.uses_globals.update(inner.names)
+        info.functions[middle + name] = function
+        self.functions[qualname] = function
+        return function
+
+    def _collect_calls(self, function: FunctionInfo) -> None:
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self.resolve_callable(function, node.func)
+            attr = None
+            receiver = None
+            if resolved is None and isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                receiver = node.func.value
+            function.calls.append(
+                CallSite(node=node, resolved=resolved, attr=attr, receiver=receiver)
+            )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_name(self, info: ModuleInfo, dotted: str) -> Optional[str]:
+        """Qualify a dotted name as seen from ``info``'s namespace.
+
+        Tries the longest import-map prefix first, then module-local
+        definitions, then builtins.  Returns ``None`` for names the
+        module cannot see statically.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            target = info.imports.get(prefix)
+            if target is not None:
+                rest = parts[cut:]
+                return ".".join([target] + rest) if rest else target
+        head = parts[0]
+        if head in info.functions or head in info.classes:
+            qualified = (info.name + "." if info.name else "") + dotted
+            return qualified
+        if head == "self":
+            return None
+        if len(parts) == 1 and head in _BUILTIN_NAMES:
+            return "builtins." + head
+        return None
+
+    def resolve_callable(
+        self, function: FunctionInfo, func: ast.AST
+    ) -> Optional[str]:
+        """Best-effort qualified name of a call's callee."""
+        dotted = qualified_name(func)
+        if dotted is None:
+            return None
+        info = function.module
+        if dotted.startswith("self.") and function.class_name is not None:
+            rest = dotted[len("self."):]
+            if "." not in rest:
+                cls = info.classes.get(function.class_name)
+                if cls is not None and rest in cls.methods:
+                    return cls.methods[rest].qualname
+            return None
+        return self.resolve_name(info, dotted)
+
+    def function_for(self, qualname: Optional[str]) -> Optional[FunctionInfo]:
+        if qualname is None:
+            return None
+        return self.functions.get(qualname)
+
+    def class_for(self, qualname: Optional[str]) -> Optional[ClassInfo]:
+        if qualname is None:
+            return None
+        return self.classes.get(qualname)
+
+    def unambiguous_method(self, name: str) -> Optional[FunctionInfo]:
+        """The single project method with this bare name, if unique."""
+        qualnames = self.methods_by_name.get(name)
+        if qualnames is not None and len(qualnames) == 1:
+            return self.functions.get(qualnames[0])
+        return None
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """All functions, in deterministic (path, line) order."""
+        ordered = sorted(
+            self.functions.values(),
+            key=lambda f: (f.module.source.path, f.node.lineno),  # type: ignore[attr-defined]
+        )
+        return iter(ordered)
+
+    # ------------------------------------------------------------------
+    # call-graph reachability
+    # ------------------------------------------------------------------
+    def reachable_from(
+        self, roots: Sequence[FunctionInfo]
+    ) -> Tuple[Dict[str, Optional[str]], List[FunctionInfo]]:
+        """BFS closure over project-internal call edges.
+
+        Returns ``(parents, order)``: the BFS tree (callee qualname ->
+        caller qualname, roots mapping to ``None``) and the functions
+        in visit order.  Method-name edges resolve only when the bare
+        name is project-unique -- an ambiguous name could fan out to
+        dozens of unrelated classes and drown the fork-safety rules in
+        noise; the submission-site tests pin the behaviour.
+        """
+        parents: Dict[str, Optional[str]] = {}
+        order: List[FunctionInfo] = []
+        queue: List[FunctionInfo] = []
+        for root in roots:
+            if root.qualname not in parents:
+                parents[root.qualname] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            for site in current.calls:
+                callee = self.function_for(site.resolved)
+                if callee is None and site.attr is not None:
+                    callee = self.unambiguous_method(site.attr)
+                if callee is None and site.resolved is not None:
+                    # A resolved class: treat instantiation as a call
+                    # of __init__ so worker-side construction is walked.
+                    cls = self.class_for(site.resolved)
+                    if cls is not None:
+                        callee = cls.methods.get("__init__")
+                if callee is not None and callee.qualname not in parents:
+                    parents[callee.qualname] = current.qualname
+                    queue.append(callee)
+        return parents, order
+
+    def call_chain(
+        self, parents: Dict[str, Optional[str]], qualname: str
+    ) -> List[str]:
+        """Root-to-function path through the BFS tree, for messages."""
+        chain = [qualname]
+        seen = {qualname}
+        parent = parents.get(qualname)
+        while parent is not None and parent not in seen:
+            chain.append(parent)
+            seen.add(parent)
+            parent = parents.get(parent)
+        chain.reverse()
+        return chain
+
+
+class ProjectContext:
+    """What the engine hands to every project rule for one run.
+
+    Wraps the :class:`ProjectIndex` over the scanned modules plus a
+    memo table, so the quantity and fork-safety rules (which share one
+    expensive analysis each across several rule codes) run their
+    analysis exactly once per lint invocation.
+    """
+
+    def __init__(self, modules: Sequence[ModuleSource]):
+        self.index = ProjectIndex(modules)
+        self._memo: Dict[str, object] = {}
+
+    def memo(self, key: str, builder: "Callable[[ProjectIndex], object]") -> object:
+        if key not in self._memo:
+            self._memo[key] = builder(self.index)
+        return self._memo[key]

@@ -1,0 +1,748 @@
+"""Interprocedural quantity-kind inference (rules REP008..REP010).
+
+The analysis assigns every expression a :class:`~repro.lint.kinds.Kind`
+-- ``length_um``, ``capacitance_fF``, ``switched_cap``, ... or unknown
+-- and checks the three places where kind confusion turns into silent
+numeric bugs:
+
+* **REP008** -- ``+`` / ``-`` / comparisons over incompatible kinds
+  (adding a resistance to a capacitance, comparing a delay against a
+  wirelength);
+* **REP009** -- a call argument whose inferred kind contradicts the
+  parameter's declared kind;
+* **REP010** -- a function whose body returns a kind that contradicts
+  its declared return kind.
+
+Kinds enter the system through declarations only -- the ``Annotated``
+aliases of :mod:`repro.quantity` on parameters, returns and dataclass
+fields, plus the seed tables of :mod:`repro.lint.quantities` for
+attributes and callables that cannot carry an alias.  There is no
+identifier guessing (that is REP001's heuristic layer); everything
+else starts *unknown*, and unknown absorbs silently, so an unannotated
+module produces zero findings.
+
+Propagation is flow-sensitive within a function (assignments,
+augmented assignments, loop targets, comprehensions) and
+interprocedural across the scanned set: a **fixed-point pass** infers
+missing return kinds from function bodies through the
+:class:`~repro.lint.project.ProjectIndex` call graph -- summaries only
+ever move from unknown to known, so the iteration terminates -- and a
+final emission pass walks every function once more with the converged
+summaries to produce findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint import kinds as K
+from repro.lint import quantities as Q
+from repro.lint.kinds import Kind
+from repro.lint.model import ModuleSource, qualified_name
+from repro.lint.project import ClassInfo, FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = [
+    "FunctionSummary",
+    "QuantityAnalysis",
+    "RawFinding",
+    "annotation_kind",
+]
+
+#: Fixed-point iteration cap; summaries only move unknown -> known, so
+#: convergence is bounded by the call-graph depth anyway.
+MAX_PASSES = 8
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """An analysis finding before engine packaging."""
+
+    code: str
+    module: ModuleSource
+    node: ast.AST
+    message: str
+
+
+#: Container annotation heads whose *element* kind indexing/iteration
+#: recovers: ``List[LengthUm]``, ``Sequence[CapacitanceFF]``, ...
+_ELEMENT_CONTAINERS = frozenset(
+    {"List", "Sequence", "Tuple", "Set", "FrozenSet", "Iterable", "Iterator"}
+)
+
+#: Mapping heads: the *value* type carries the kind.
+_MAPPING_CONTAINERS = frozenset({"Dict", "Mapping", "MutableMapping", "DefaultDict"})
+
+
+def annotation_kind(annotation: Optional[ast.AST]) -> Optional[Kind]:
+    """The kind declared by an annotation expression, if any.
+
+    Recognizes the :mod:`repro.quantity` aliases by terminal name
+    (``LengthUm``, ``q.LengthUm``), ``Optional[...]`` / ``Annotated``
+    wrappers, inline ``Annotated[float, QuantityKind("name")]``, and
+    homogeneous containers (``List[LengthUm]``,
+    ``Dict[int, CapacitanceFF]``) whose element kind subscripting and
+    iteration recover.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        return Q.alias_kind(qualified_name(annotation))
+    if isinstance(annotation, ast.Subscript):
+        head = qualified_name(annotation.value)
+        tail = head.rsplit(".", 1)[-1] if head else None
+        inner: ast.AST = annotation.slice
+        if isinstance(inner, ast.Index):  # pragma: no cover - py38 shape
+            inner = inner.value  # type: ignore[attr-defined]
+        if tail == "Optional":
+            return annotation_kind(inner)
+        if tail == "Annotated":
+            if isinstance(inner, ast.Tuple) and len(inner.elts) >= 2:
+                marker = inner.elts[1]
+                if (
+                    isinstance(marker, ast.Call)
+                    and qualified_name(marker.func) is not None
+                    and qualified_name(marker.func).rsplit(".", 1)[-1]
+                    == "QuantityKind"
+                    and marker.args
+                    and isinstance(marker.args[0], ast.Constant)
+                    and isinstance(marker.args[0].value, str)
+                ):
+                    return K.named(marker.args[0].value)
+                return annotation_kind(inner.elts[0])
+        if tail in _ELEMENT_CONTAINERS:
+            if isinstance(inner, ast.Tuple):
+                element_kinds = {
+                    annotation_kind(e)
+                    for e in inner.elts
+                    if not (isinstance(e, ast.Constant) and e.value is Ellipsis)
+                }
+                if len(element_kinds) == 1:
+                    return element_kinds.pop()
+                return None
+            return annotation_kind(inner)
+        if tail in _MAPPING_CONTAINERS:
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                return annotation_kind(inner.elts[1])
+    return None
+
+
+def annotation_class(
+    index: ProjectIndex, info: ModuleInfo, annotation: Optional[ast.AST]
+) -> Optional[str]:
+    """The project class qualname an annotation names, if any."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: resolve the bare head name.
+        resolved = index.resolve_name(info, annotation.value.split("[", 1)[0])
+    elif isinstance(annotation, (ast.Name, ast.Attribute)):
+        dotted = qualified_name(annotation)
+        resolved = index.resolve_name(info, dotted) if dotted else None
+    elif isinstance(annotation, ast.Subscript):
+        head = qualified_name(annotation.value)
+        tail = head.rsplit(".", 1)[-1] if head else None
+        if tail == "Optional":
+            inner: ast.AST = annotation.slice
+            return annotation_class(index, info, inner)
+        return None
+    else:
+        return None
+    if resolved is not None and index.class_for(resolved) is not None:
+        return resolved
+    return None
+
+
+@dataclass
+class FunctionSummary:
+    """Declared-plus-inferred kind signature of one function."""
+
+    param_order: List[str] = field(default_factory=list)
+    param_kinds: Dict[str, Optional[Kind]] = field(default_factory=dict)
+    param_classes: Dict[str, Optional[str]] = field(default_factory=dict)
+    return_kind: Optional[Kind] = None
+    declared_return: bool = False
+
+
+class QuantityAnalysis:
+    """The whole-project kind inference and its three rules."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.attribute_kinds: Dict[str, Optional[Kind]] = dict(Q.ATTRIBUTE_KINDS)
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self._build_catalog()
+
+    # ------------------------------------------------------------------
+    # catalog: declarations -> seeds
+    # ------------------------------------------------------------------
+    def _register_attribute(self, name: str, kind: Optional[Kind]) -> None:
+        """Register a declared field kind; contradictions disable the
+        name project-wide (a ``None`` entry) rather than guessing."""
+        if kind is None:
+            return
+        existing = self.attribute_kinds.get(name, kind)
+        self.attribute_kinds[name] = kind if existing == kind else None
+
+    def _build_catalog(self) -> None:
+        for cls in self.index.classes.values():
+            for field_name, annotation in cls.field_annotations.items():
+                self._register_attribute(field_name, annotation_kind(annotation))
+        for function in self.index.functions.values():
+            self.summaries[function.qualname] = self._declared_summary(function)
+            for node in ast.walk(function.node):
+                if (
+                    isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Attribute)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id == "self"
+                ):
+                    self._register_attribute(
+                        node.target.attr, annotation_kind(node.annotation)
+                    )
+
+    def _declared_summary(self, function: FunctionInfo) -> FunctionSummary:
+        summary = FunctionSummary()
+        args = function.args
+        ordered = list(args.posonlyargs) + list(args.args)
+        for arg in ordered + list(args.kwonlyargs):
+            summary.param_order.append(arg.arg) if arg in ordered else None
+            summary.param_kinds[arg.arg] = annotation_kind(arg.annotation)
+            summary.param_classes[arg.arg] = annotation_class(
+                self.index, function.module, arg.annotation
+            )
+        returns = getattr(function.node, "returns", None)
+        kind = annotation_kind(returns)
+        if kind is not None:
+            summary.return_kind = kind
+            summary.declared_return = True
+        return summary
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> List[RawFinding]:
+        """Fixed-point inference, then one emission pass."""
+        for _ in range(MAX_PASSES):
+            changed = False
+            for function in self.index.iter_functions():
+                summary = self.summaries[function.qualname]
+                if summary.declared_return or summary.return_kind is not None:
+                    continue
+                walker = _FunctionWalker(self, function, emit=False)
+                inferred = walker.run()
+                if inferred is not None:
+                    summary.return_kind = inferred
+                    changed = True
+            if not changed:
+                break
+        findings: List[RawFinding] = []
+        for function in self.index.iter_functions():
+            walker = _FunctionWalker(self, function, emit=True)
+            walker.run()
+            findings.extend(walker.findings)
+        for info in sorted(self.index.modules.values(), key=lambda m: m.source.path):
+            walker = _ModuleWalker(self, info)
+            walker.run()
+            findings.extend(walker.findings)
+        return findings
+
+
+class _FrameBase:
+    """Shared expression/statement machinery of the two walkers."""
+
+    def __init__(self, analysis: QuantityAnalysis, info: ModuleInfo, emit: bool):
+        self.analysis = analysis
+        self.index = analysis.index
+        self.info = info
+        self.emit = emit
+        self.env: Dict[str, Optional[Kind]] = {}
+        self.types: Dict[str, Optional[str]] = {}
+        self.findings: List[RawFinding] = []
+        self.return_kinds: List[Optional[Kind]] = []
+        self.function: Optional[FunctionInfo] = None
+
+    # -- findings ------------------------------------------------------
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        if self.emit:
+            self.findings.append(
+                RawFinding(
+                    code=code, module=self.info.source, node=node, message=message
+                )
+            )
+
+    # -- expression kinds ---------------------------------------------
+    def kind_of(self, node: Optional[ast.AST]) -> Optional[Kind]:
+        if node is None:
+            return None
+        method = getattr(self, "_kind_" + type(node).__name__, None)
+        if method is None:
+            return None
+        return method(node)
+
+    def _kind_Constant(self, node: ast.Constant) -> Optional[Kind]:
+        if isinstance(node.value, bool):
+            return K.DIMENSIONLESS
+        if isinstance(node.value, (int, float)):
+            return K.DIMENSIONLESS
+        return None
+
+    def _kind_Name(self, node: ast.Name) -> Optional[Kind]:
+        if node.id in self.env:
+            return self.env[node.id]
+        annotation = self.info.global_annotations.get(node.id)
+        if annotation is not None:
+            return annotation_kind(annotation)
+        return None
+
+    def _kind_Attribute(self, node: ast.Attribute) -> Optional[Kind]:
+        return self.analysis.attribute_kinds.get(node.attr)
+
+    def _kind_Subscript(self, node: ast.Subscript) -> Optional[Kind]:
+        # Indexing/slicing a homogeneous container of a kind yields
+        # that kind (NodeArrays columns, lists of lengths).
+        return self.kind_of(node.value)
+
+    def _kind_Starred(self, node: ast.Starred) -> Optional[Kind]:
+        return self.kind_of(node.value)
+
+    def _kind_UnaryOp(self, node: ast.UnaryOp) -> Optional[Kind]:
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            return self.kind_of(node.operand)
+        if isinstance(node.op, ast.Not):
+            self.kind_of(node.operand)
+            return K.DIMENSIONLESS
+        return None
+
+    def _kind_BoolOp(self, node: ast.BoolOp) -> Optional[Kind]:
+        result: Optional[Kind] = self.kind_of(node.values[0])
+        for value in node.values[1:]:
+            result = K.join(result, self.kind_of(value))
+        return result
+
+    def _kind_IfExp(self, node: ast.IfExp) -> Optional[Kind]:
+        self.kind_of(node.test)
+        return K.join(self.kind_of(node.body), self.kind_of(node.orelse))
+
+    def _kind_Await(self, node: ast.Await) -> Optional[Kind]:
+        return self.kind_of(node.value)
+
+    def _kind_BinOp(self, node: ast.BinOp) -> Optional[Kind]:
+        left = self.kind_of(node.left)
+        right = self.kind_of(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            merged, ok = K.add(left, right)
+            if not ok:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._report(
+                    "REP008",
+                    node,
+                    "incompatible quantity kinds: %s %s %s"
+                    % (K.display(left), op, K.display(right)),
+                )
+            return merged
+        if isinstance(node.op, ast.Mult):
+            return K.multiply(left, right)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return K.divide(left, right)
+        if isinstance(node.op, ast.Pow):
+            if isinstance(node.right, ast.Constant) and isinstance(
+                node.right.value, int
+            ):
+                return K.power(left, node.right.value)
+            return None
+        return None
+
+    def _kind_Compare(self, node: ast.Compare) -> Optional[Kind]:
+        operands = [node.left] + list(node.comparators)
+        operand_kinds = [self.kind_of(o) for o in operands]
+        for i, op in enumerate(node.ops):
+            if isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot)):
+                continue
+            a, b = operand_kinds[i], operand_kinds[i + 1]
+            if not K.comparable(a, b):
+                self._report(
+                    "REP008",
+                    node,
+                    "comparison across quantity kinds: %s vs %s"
+                    % (K.display(a), K.display(b)),
+                )
+        return K.DIMENSIONLESS
+
+    def _comprehension_env(self, generators: Sequence[ast.comprehension]) -> None:
+        for gen in generators:
+            element = self.kind_of(gen.iter)
+            self._bind_target(gen.target, element)
+            for cond in gen.ifs:
+                self.kind_of(cond)
+
+    def _kind_GeneratorExp(self, node: ast.GeneratorExp) -> Optional[Kind]:
+        saved_env, saved_types = dict(self.env), dict(self.types)
+        try:
+            self._comprehension_env(node.generators)
+            return self.kind_of(node.elt)
+        finally:
+            self.env, self.types = saved_env, saved_types
+
+    def _kind_ListComp(self, node: ast.ListComp) -> Optional[Kind]:
+        return self._kind_GeneratorExp(node)  # type: ignore[arg-type]
+
+    def _kind_SetComp(self, node: ast.SetComp) -> Optional[Kind]:
+        return self._kind_GeneratorExp(node)  # type: ignore[arg-type]
+
+    def _kind_DictComp(self, node: ast.DictComp) -> Optional[Kind]:
+        saved_env, saved_types = dict(self.env), dict(self.types)
+        try:
+            self._comprehension_env(node.generators)
+            self.kind_of(node.key)
+            return self.kind_of(node.value)
+        finally:
+            self.env, self.types = saved_env, saved_types
+
+    # -- calls ---------------------------------------------------------
+    def _receiver_class(self, receiver: Optional[ast.AST]) -> Optional[ClassInfo]:
+        if receiver is None:
+            return None
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and self.function is not None:
+                if self.function.class_name is not None:
+                    cls = self.function.module.classes.get(self.function.class_name)
+                    return cls
+            return self.index.class_for(self.types.get(receiver.id))
+        return None
+
+    def _callee_summary(
+        self, node: ast.Call
+    ) -> Tuple[Optional[FunctionSummary], Optional[str], bool]:
+        """(summary, display name, skip_first_param) of the callee."""
+        resolved = None
+        if self.function is not None:
+            resolved = self.index.resolve_callable(self.function, node.func)
+        else:
+            dotted = qualified_name(node.func)
+            resolved = (
+                self.index.resolve_name(self.info, dotted) if dotted else None
+            )
+        if resolved is not None:
+            target = self.index.function_for(resolved)
+            if target is not None:
+                summary = self.analysis.summaries.get(target.qualname)
+                return summary, target.qualname, target.is_method
+        if isinstance(node.func, ast.Attribute):
+            cls = self._receiver_class(node.func.value)
+            if cls is not None:
+                method = cls.methods.get(node.func.attr)
+                if method is not None:
+                    summary = self.analysis.summaries.get(method.qualname)
+                    return summary, method.qualname, True
+            method_info = self.index.unambiguous_method(node.func.attr)
+            if method_info is not None:
+                summary = self.analysis.summaries.get(method_info.qualname)
+                return summary, method_info.qualname, True
+        return None, None, False
+
+    def _check_call_args(
+        self,
+        node: ast.Call,
+        summary: FunctionSummary,
+        callee: str,
+        skip_first: bool,
+        arg_kinds: Dict[int, Optional[Kind]],
+        kw_kinds: Dict[str, Optional[Kind]],
+    ) -> None:
+        order = summary.param_order[1:] if skip_first else summary.param_order
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return
+        for position, arg in enumerate(node.args):
+            if position >= len(order):
+                break
+            self._check_one_arg(
+                node.args[position],
+                arg_kinds.get(position),
+                summary.param_kinds.get(order[position]),
+                order[position],
+                callee,
+            )
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            self._check_one_arg(
+                keyword.value,
+                kw_kinds.get(keyword.arg),
+                summary.param_kinds.get(keyword.arg),
+                keyword.arg,
+                callee,
+            )
+
+    def _check_one_arg(
+        self,
+        node: ast.AST,
+        arg_kind: Optional[Kind],
+        param_kind: Optional[Kind],
+        param: str,
+        callee: str,
+    ) -> None:
+        if arg_kind is None or param_kind is None:
+            return
+        if K.comparable(arg_kind, param_kind):
+            return
+        self._report(
+            "REP009",
+            node,
+            "argument %r of %s() takes %s, got %s"
+            % (param, callee.rsplit(".", 1)[-1], K.display(param_kind), K.display(arg_kind)),
+        )
+
+    def _constructor_summary(
+        self, resolved: Optional[str]
+    ) -> Tuple[Optional[FunctionSummary], Optional[str]]:
+        """A synthetic summary for dataclass-style constructors."""
+        cls = self.index.class_for(resolved)
+        if cls is None:
+            return None, None
+        init = cls.methods.get("__init__")
+        if init is not None:
+            return self.analysis.summaries.get(init.qualname), cls.qualname + ".__init__"
+        if not cls.field_annotations:
+            return None, None
+        summary = FunctionSummary()
+        for field_name, annotation in cls.field_annotations.items():
+            summary.param_order.append(field_name)
+            summary.param_kinds[field_name] = annotation_kind(annotation)
+        return summary, cls.qualname
+
+    def _kind_Call(self, node: ast.Call) -> Optional[Kind]:
+        arg_kinds: Dict[int, Optional[Kind]] = {
+            i: self.kind_of(a) for i, a in enumerate(node.args)
+        }
+        kw_kinds: Dict[str, Optional[Kind]] = {
+            kw.arg: self.kind_of(kw.value)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        resolved = None
+        if self.function is not None:
+            resolved = self.index.resolve_callable(self.function, node.func)
+        else:
+            dotted = qualified_name(node.func)
+            resolved = (
+                self.index.resolve_name(self.info, dotted) if dotted else None
+            )
+        if resolved is not None:
+            if resolved in Q.FUNCTION_RETURNS:
+                return Q.FUNCTION_RETURNS[resolved]
+            if resolved in Q.SQRT_CALLS:
+                return K.sqrt(arg_kinds.get(0))
+            if resolved in Q.PRESERVING_CALLS:
+                result: Optional[Kind] = None
+                kinds = list(arg_kinds.values())
+                if kinds:
+                    result = kinds[0]
+                    for other in kinds[1:]:
+                        result = K.join(result, other)
+                return result
+            cls_summary, cls_name = self._constructor_summary(resolved)
+            if cls_summary is not None and cls_name is not None:
+                self._check_call_args(
+                    node,
+                    cls_summary,
+                    cls_name,
+                    cls_name.endswith(".__init__"),
+                    arg_kinds,
+                    kw_kinds,
+                )
+                return None
+        summary, callee, skip_first = self._callee_summary(node)
+        if summary is not None and callee is not None:
+            self._check_call_args(
+                node, summary, callee, skip_first, arg_kinds, kw_kinds
+            )
+            return summary.return_kind
+        if isinstance(node.func, ast.Attribute):
+            seeded = Q.method_return_kind(node.func.attr)
+            if seeded is not None:
+                return seeded
+        return None
+
+    # -- statements ----------------------------------------------------
+    def _bind_target(self, target: ast.AST, kind: Optional[Kind]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = kind
+            self.types.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None)
+
+    def _bind_assign(self, target: ast.AST, value: ast.AST) -> None:
+        kind = self.kind_of(value)
+        if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+            value, (ast.Tuple, ast.List)
+        ) and len(target.elts) == len(value.elts):
+            for t, v in zip(target.elts, value.elts):
+                self._bind_assign(t, v)
+            return
+        self._bind_target(target, kind)
+        if isinstance(target, ast.Name):
+            self.types[target.id] = self._value_class(value)
+
+    def _value_class(self, value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            resolved = None
+            if self.function is not None:
+                resolved = self.index.resolve_callable(self.function, value.func)
+            else:
+                dotted = qualified_name(value.func)
+                resolved = (
+                    self.index.resolve_name(self.info, dotted) if dotted else None
+                )
+            if resolved is not None and self.index.class_for(resolved) is not None:
+                return resolved
+        elif isinstance(value, ast.Name):
+            return self.types.get(value.id)
+        return None
+
+    def exec_body(self, body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            self.exec_stmt(statement)
+
+    def exec_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Expr):
+            self.kind_of(node.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._bind_assign(target, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            declared = annotation_kind(node.annotation)
+            value_kind = self.kind_of(node.value) if node.value else None
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = (
+                    declared if declared is not None else value_kind
+                )
+                cls = annotation_class(self.index, self.info, node.annotation)
+                self.types[node.target.id] = cls
+        elif isinstance(node, ast.AugAssign):
+            value_kind = self.kind_of(node.value)
+            if isinstance(node.target, ast.Name):
+                current = self.env.get(node.target.id)
+                if isinstance(node.op, (ast.Add, ast.Sub)):
+                    merged, ok = K.add(current, value_kind)
+                    if not ok:
+                        op = "+=" if isinstance(node.op, ast.Add) else "-="
+                        self._report(
+                            "REP008",
+                            node,
+                            "incompatible quantity kinds: %s %s %s"
+                            % (K.display(current), op, K.display(value_kind)),
+                        )
+                    self.env[node.target.id] = merged
+                elif isinstance(node.op, ast.Mult):
+                    self.env[node.target.id] = K.multiply(current, value_kind)
+                elif isinstance(node.op, (ast.Div, ast.FloorDiv)):
+                    self.env[node.target.id] = K.divide(current, value_kind)
+                else:
+                    self.env[node.target.id] = None
+        elif isinstance(node, ast.Return):
+            kind = self.kind_of(node.value)
+            self.return_kinds.append(kind)
+            self._check_return(node, kind)
+        elif isinstance(node, (ast.If, ast.While)):
+            self.kind_of(node.test)
+            self.exec_body(node.body)
+            self.exec_body(node.orelse)
+        elif isinstance(node, ast.For):
+            element = self.kind_of(node.iter)
+            self._bind_target(node.target, element)
+            self.exec_body(node.body)
+            self.exec_body(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self.kind_of(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, None)
+            self.exec_body(node.body)
+        elif isinstance(node, ast.Try):
+            self.exec_body(node.body)
+            for handler in node.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(node.orelse)
+            self.exec_body(node.finalbody)
+        elif isinstance(node, ast.Assert):
+            self.kind_of(node.test)
+        elif isinstance(node, (ast.Raise,)):
+            if node.exc is not None:
+                self.kind_of(node.exc)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # Nested function/class definitions open their own scopes; the
+        # project index walks nested bodies as part of their parent for
+        # the call graph, but kind environments do not cross them.
+
+    def _check_return(self, node: ast.Return, kind: Optional[Kind]) -> None:
+        return None
+
+
+class _FunctionWalker(_FrameBase):
+    """Kind inference over one function body."""
+
+    def __init__(
+        self, analysis: QuantityAnalysis, function: FunctionInfo, emit: bool
+    ):
+        super().__init__(analysis, function.module, emit)
+        self.function = function
+        self.summary = analysis.summaries[function.qualname]
+        args = function.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            self.env[arg.arg] = self.summary.param_kinds.get(arg.arg)
+            self.types[arg.arg] = self.summary.param_classes.get(arg.arg)
+
+    def run(self) -> Optional[Kind]:
+        body = self.function.node.body  # type: ignore[attr-defined]
+        self.exec_body(body)
+        inferred: Optional[Kind] = None
+        seen = False
+        for kind in self.return_kinds:
+            if kind is None:
+                return None
+            inferred = kind if not seen else K.join(inferred, kind)
+            seen = True
+        return inferred
+
+    def _check_return(self, node: ast.Return, kind: Optional[Kind]) -> None:
+        if not self.summary.declared_return:
+            return
+        declared = self.summary.return_kind
+        if kind is None or declared is None:
+            return
+        if K.comparable(kind, declared):
+            return
+        self._report(
+            "REP010",
+            node,
+            "%s() declares return kind %s but returns %s"
+            % (self.function.name, K.display(declared), K.display(kind)),
+        )
+
+
+class _ModuleWalker(_FrameBase):
+    """Kind inference over a module's top-level statements."""
+
+    def __init__(self, analysis: QuantityAnalysis, info: ModuleInfo):
+        super().__init__(analysis, info, emit=True)
+
+    def run(self) -> None:
+        for statement in self.info.source.tree.body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            self.exec_stmt(statement)
+
+
+def analyze_project(index: ProjectIndex) -> List[RawFinding]:
+    """Convenience wrapper: build, converge, emit."""
+    return QuantityAnalysis(index).run()

@@ -6,18 +6,22 @@ finding -- the same ``source: line N: message`` shape as
 reporter emits a stable machine-readable document (schema below) for
 CI annotation tooling.
 
-JSON schema (``version`` 1)::
+JSON schema (``version`` 2; version 1 lacked ``stale_noqa``)::
 
-    {"version": 1,
+    {"version": 2,
      "tool": "repro-lint",
      "clean": bool,
      "files_scanned": int,
      "suppressed": int,
      "baselined": int,
      "stale_baseline": int,
+     "stale_noqa": [{"path", "line", "codes", "snippet"}, ...],
      "counts": {"REP002": 3, ...},
      "findings": [{"rule", "path", "line", "col",
                    "message", "snippet", "fingerprint"}, ...]}
+
+``stale_noqa[].codes`` is the sorted list of rule codes the comment
+names, or ``null`` for a blanket ``# repro: noqa``.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from typing import Any, Dict, List
 from repro.lint.engine import LintResult
 from repro.lint.rules import rule_catalog
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
@@ -53,6 +57,8 @@ def render_text(result: LintResult) -> str:
         extras.append("%d baselined" % result.baselined)
     if result.stale_baseline:
         extras.append("%d stale baseline entr(y/ies)" % result.stale_baseline)
+    if result.stale_noqa:
+        extras.append("%d stale noqa comment(s)" % len(result.stale_noqa))
     if extras:
         tail += " (%s)" % ", ".join(extras)
     lines.append(tail)
@@ -69,6 +75,15 @@ def report_dict(result: LintResult) -> Dict[str, Any]:
         "suppressed": result.suppressed,
         "baselined": result.baselined,
         "stale_baseline": result.stale_baseline,
+        "stale_noqa": [
+            {
+                "path": entry.path,
+                "line": entry.line,
+                "codes": list(entry.codes) if entry.codes is not None else None,
+                "snippet": entry.snippet,
+            }
+            for entry in result.stale_noqa
+        ],
         "counts": result.counts(),
         "findings": [f.as_dict() for f in result.findings],
     }

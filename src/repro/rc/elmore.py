@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.check.errors import ContractError
+from repro.quantity import CapacitanceFF, DelayPs, LengthUm, NodeId
 from repro.tech.parameters import GateModel, Technology
 
 
@@ -39,11 +40,11 @@ class EdgeElectrical:
     ``parent < 0`` marks the root pseudo-edge (no wire, no cell).
     """
 
-    node: int
-    parent: int
-    length: float
+    node: NodeId
+    parent: NodeId
+    length: LengthUm
     cell: Optional[GateModel]
-    node_cap: float
+    node_cap: CapacitanceFF
     """Capacitance attached directly at the bottom node (sink load for
     leaves, zero for internal nodes -- children's contributions are
     accumulated separately)."""
@@ -53,8 +54,8 @@ class EdgeElectrical:
 class SinkDelay:
     """Delay of one sink, plus the path capacitance audit."""
 
-    node: int
-    delay: float
+    node: NodeId
+    delay: DelayPs
 
 
 class ElmoreEvaluator:
@@ -85,8 +86,8 @@ class ElmoreEvaluator:
         if len(roots) != 1:
             raise ContractError("expected exactly one root, found %d" % len(roots))
         self._root = roots[0]
-        self._presented: Dict[int, float] = {}
-        self._subtree_cap: Dict[int, float] = {}
+        self._presented: Dict[int, CapacitanceFF] = {}
+        self._subtree_cap: Dict[int, CapacitanceFF] = {}
         self._compute_caps()
 
     @property
@@ -123,18 +124,18 @@ class ElmoreEvaluator:
         order.reverse()
         return order
 
-    def subtree_cap(self, node: int) -> float:
+    def subtree_cap(self, node: NodeId) -> CapacitanceFF:
         """Capacitance hanging at ``node`` from below (before its edge)."""
         return self._subtree_cap[node]
 
-    def presented_cap(self, node: int) -> float:
+    def presented_cap(self, node: NodeId) -> CapacitanceFF:
         """Capacitance the edge above ``node`` presents to the parent."""
         return self._presented[node]
 
     # ------------------------------------------------------------------
     # delay
     # ------------------------------------------------------------------
-    def edge_delay(self, node: int) -> float:
+    def edge_delay(self, node: NodeId) -> DelayPs:
         """Elmore delay across the edge above ``node`` (cell + wire)."""
         edge = self._edges[node]
         if edge.parent < 0:
@@ -154,7 +155,7 @@ class ElmoreEvaluator:
 
     def sink_delays(self) -> List[SinkDelay]:
         """Root-to-sink Elmore delay for every leaf."""
-        arrival: Dict[int, float] = {self._root: 0.0}
+        arrival: Dict[int, DelayPs] = {self._root: 0.0}
         out: List[SinkDelay] = []
         stack = [self._root]
         while stack:
@@ -168,11 +169,11 @@ class ElmoreEvaluator:
                 stack.append(ch)
         return out
 
-    def skew(self) -> float:
+    def skew(self) -> DelayPs:
         """Max minus min sink delay (0 for a perfect zero-skew tree)."""
         delays = [s.delay for s in self.sink_delays()]
         return max(delays) - min(delays)
 
-    def max_delay(self) -> float:
+    def max_delay(self) -> DelayPs:
         """Phase delay: the (common) root-to-sink delay."""
         return max(s.delay for s in self.sink_delays())

@@ -19,6 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.check.errors import TechnologyError
+from repro.quantity import (
+    AreaUm2,
+    CapacitanceFF,
+    CapPerLength,
+    DelayPs,
+    Dimensionless,
+    LengthUm,
+    ResistanceOhm,
+    ResPerLength,
+)
 
 
 @dataclass(frozen=True)
@@ -31,16 +41,16 @@ class GateModel:
     layout area.
     """
 
-    input_cap: float
+    input_cap: CapacitanceFF
     """Input (gate) capacitance seen by the upstream net, pF."""
 
-    drive_resistance: float
+    drive_resistance: ResistanceOhm
     """Equivalent output resistance driving the downstream net, ohm."""
 
-    intrinsic_delay: float
+    intrinsic_delay: DelayPs
     """Input-to-output delay at zero load, ohm*pF units."""
 
-    area: float
+    area: AreaUm2
     """Cell area, lambda^2."""
 
     def __post_init__(self) -> None:
@@ -69,10 +79,10 @@ class GateModel:
 class Technology:
     """Process + methodology constants shared by all routers."""
 
-    unit_wire_resistance: float
+    unit_wire_resistance: ResPerLength
     """Wire resistance per unit length, ohm / lambda."""
 
-    unit_wire_capacitance: float
+    unit_wire_capacitance: CapPerLength
     """Wire capacitance per unit length, pF / lambda."""
 
     masking_gate: GateModel
@@ -85,14 +95,14 @@ class Technology:
     presets honor that.
     """
 
-    clock_transitions_per_cycle: float = 2.0
+    clock_transitions_per_cycle: Dimensionless = 2.0
     """Activity factor of the clock net (one rising + one falling edge).
 
     The controller (enable) nets use measured transition probabilities
     instead, which already count transitions per cycle.
     """
 
-    wire_width: float = 1.0
+    wire_width: LengthUm = 1.0
     """Routing wire width, lambda -- converts wirelength to wire area."""
 
     def __post_init__(self) -> None:
@@ -103,15 +113,15 @@ class Technology:
 
         validate_technology(self, strict=False)
 
-    def wire_area(self, length: float) -> float:
+    def wire_area(self, length: LengthUm) -> AreaUm2:
         """Layout area of ``length`` units of routed wire, lambda^2."""
         return length * self.wire_width
 
-    def wire_cap(self, length: float) -> float:
+    def wire_cap(self, length: LengthUm) -> CapacitanceFF:
         """Total capacitance of a wire of the given length, pF."""
         return self.unit_wire_capacitance * length
 
-    def wire_res(self, length: float) -> float:
+    def wire_res(self, length: LengthUm) -> ResistanceOhm:
         """Total resistance of a wire of the given length, ohm."""
         return self.unit_wire_resistance * length
 

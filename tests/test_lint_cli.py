@@ -88,6 +88,89 @@ class TestBaselineFlow:
         )
 
 
+class TestSelectFlag:
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        root = make_project(tmp_path)  # REP002 violation
+        assert main(["lint", "--root", str(root), "--select", "REP002"]) == 1
+        capsys.readouterr()
+        # The finding exists, but the selected rule set does not see it.
+        assert main(["lint", "--root", str(root), "--select", "REP001"]) == 0
+
+    def test_select_project_rules(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, ResistanceOhm\n"
+            "\n"
+            "def f(cap: CapacitanceFF, res: ResistanceOhm) -> float:\n"
+            "    return cap + res\n",
+        )
+        assert main(["lint", "--root", str(root), "--select", "REP008"]) == 1
+        assert main(["lint", "--root", str(root), "--select", "REP009"]) == 0
+
+    def test_unknown_code_exits_two(self, tmp_path, capsys):
+        root = make_project(tmp_path, "def f():\n    return 1\n")
+        assert main(["lint", "--root", str(root), "--select", "REP999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestExplainFlag:
+    def test_explain_prints_rule_documentation(self, capsys):
+        assert main(["lint", "--explain", "REP008"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("REP008:")
+        assert "rationale:" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "rep011"]) == 0
+        assert "REP011" in capsys.readouterr().out
+
+    def test_explain_unknown_code_exits_two(self, capsys):
+        assert main(["lint", "--explain", "REP999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule code" in err and "REP008" in err
+
+
+class TestCheckNoqa:
+    def test_stale_suppression_fails(self, tmp_path, capsys):
+        root = make_project(
+            tmp_path,
+            "def f():\n    return 1  # repro: noqa[REP002]\n",
+        )
+        assert main(["lint", "--root", str(root), "--check-noqa"]) == 1
+        out = capsys.readouterr().out
+        assert "stale suppression [REP002] matched no finding" in out
+
+    def test_live_suppression_passes(self, tmp_path, capsys):
+        root = make_project(
+            tmp_path,
+            'def f():\n    raise ValueError("boom")  # repro: noqa[REP002]\n',
+        )
+        assert main(["lint", "--root", str(root), "--check-noqa"]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            '"""Docs may say ``# repro: noqa[REP001]`` freely."""\n'
+            "\n"
+            "def f():\n"
+            "    return 1\n",
+        )
+        assert main(["lint", "--root", str(root), "--check-noqa"]) == 0
+
+    def test_incompatible_with_select(self, tmp_path, capsys):
+        root = make_project(tmp_path, "def f():\n    return 1\n")
+        code = main(
+            ["lint", "--root", str(root), "--check-noqa", "--select", "REP002"]
+        )
+        assert code == 2
+        assert "--check-noqa" in capsys.readouterr().err
+
+    def test_shipped_tree_has_no_stale_noqa(self, capsys):
+        assert main(["lint", "--check-noqa"]) == 0
+        capsys.readouterr()
+
+
 class TestRepoIsClean:
     def test_shipped_tree_lints_clean(self, capsys):
         """The gate the CI runs: the committed tree has zero findings

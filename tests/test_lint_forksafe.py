@@ -1,0 +1,208 @@
+"""The fork-safety analysis: REP011 / REP012.
+
+Each fixture is a scratch project with a process pool; the analysis
+resolves the worker callable through the project call graph, so the
+hazards are planted both directly in workers and transitively through
+helpers.  Codes are filtered so unrelated module rules cannot
+interfere.
+"""
+
+from repro.lint import run_lint
+
+FORK_CODES = {"REP011", "REP012"}
+
+
+def lint_source(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(source)
+    result = run_lint([str(tmp_path)], project_root=str(tmp_path))
+    return [f for f in result.findings if f.rule in FORK_CODES], result
+
+
+class TestRep011WorkerGlobalState:
+    def test_fires_on_tracer_in_worker(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.obs import get_tracer\n"
+            "\n"
+            "def work(x):\n"
+            "    with get_tracer().span('w'):\n"
+            "        return x\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n",
+        )
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "get_tracer" in findings[0].message
+        assert "worker process" in findings[0].message
+
+    def test_fires_transitively_through_helpers(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.obs import get_registry\n"
+            "\n"
+            "def record(x):\n"
+            "    get_registry().counter('jobs').increment()\n"
+            "    return x\n"
+            "\n"
+            "def work(x):\n"
+            "    return record(x)\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, x) for x in items]\n",
+        )
+        assert [f.rule for f in findings] == ["REP011"]
+        # The message names the path from worker to hazard.
+        assert "work" in findings[0].message
+        assert "record" in findings[0].message
+
+    def test_fires_on_tracemalloc_in_initializer(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "import tracemalloc\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def setup():\n"
+            "    tracemalloc.start()\n"
+            "\n"
+            "def work(x):\n"
+            "    return x\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor(initializer=setup) as pool:\n"
+            "        return list(pool.map(work, items))\n",
+        )
+        assert [f.rule for f in findings] == ["REP011"]
+        assert "pool initializer setup()" in findings[0].message
+        assert "allocation tracing" in findings[0].message
+
+    def test_clean_worker_stays_quiet(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def work(x):\n"
+            "    return x * 2\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))\n",
+        )
+        assert findings == []
+
+    def test_tracer_outside_pool_is_fine(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.obs import get_tracer\n"
+            "\n"
+            "def work(x):\n"
+            "    return x\n"
+            "\n"
+            "def run(items):\n"
+            "    with get_tracer().span('parent'):\n"
+            "        with ProcessPoolExecutor() as pool:\n"
+            "            return list(pool.map(work, items))\n",
+        )
+        assert findings == []
+
+    def test_suppressed_with_noqa(self, tmp_path):
+        findings, result = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.obs import get_tracer\n"
+            "\n"
+            "def work(x):\n"
+            "    with get_tracer().span('w'):\n"
+            "        return x\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, items))  # repro: noqa[REP011]\n",
+        )
+        assert findings == []
+        assert result.suppressed == 1
+
+
+class TestRep012UnpicklablePayload:
+    def test_fires_on_lambda_payload(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x, items))\n",
+        )
+        assert [f.rule for f in findings] == ["REP012"]
+        assert "lambda" in findings[0].message
+
+    def test_fires_on_open_file_handle(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def work(x, sink):\n"
+            "    return x\n"
+            "\n"
+            "def run(items, path):\n"
+            "    handle = open(path, 'w')\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, x, handle) for x in items]\n",
+        )
+        assert [f.rule for f in findings] == ["REP012"]
+
+    def test_fires_on_catalogued_class_instance(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.activity import ActivityOracle\n"
+            "\n"
+            "def work(x, oracle):\n"
+            "    return x\n"
+            "\n"
+            "def run(items, tables, stream):\n"
+            "    oracle = ActivityOracle(tables, stream)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, x, oracle) for x in items]\n",
+        )
+        assert [f.rule for f in findings] == ["REP012"]
+        assert "ActivityOracle" in findings[0].message
+
+    def test_plain_data_payload_is_fine(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def work(x, scale):\n"
+            "    return x * scale\n"
+            "\n"
+            "def run(items):\n"
+            "    scale = 2.0\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return [pool.submit(work, x, scale) for x in items]\n",
+        )
+        assert findings == []
+
+    def test_suppressed_with_noqa(self, tmp_path):
+        findings, result = lint_source(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x, items))  # repro: noqa[REP012]\n",
+        )
+        assert findings == []
+        assert result.suppressed == 1
+
+
+class TestShippedTree:
+    def test_sharded_router_is_the_only_suppression_site(self):
+        # The real sharded router's pool is covered by an inline
+        # justification; nothing else in the tree may need one.
+        result = run_lint(["src/repro"], project_root=".")
+        assert [f for f in result.findings if f.rule in FORK_CODES] == []

@@ -1,0 +1,176 @@
+"""Property tests for the quantity-kind algebra (REP008-REP010 core).
+
+The analyzer's soundness rests on a handful of algebraic identities of
+:mod:`repro.lint.kinds`: products commute and associate, additive
+compatibility is symmetric, ``unknown`` (``None``) is absorbing and
+never flags, and named seeds compose to the kinds the routing flow
+actually mixes (``R*C -> delay``, ``P*C -> switched_cap``).  Hypothesis
+draws kinds from the full named lattice plus ``unknown``.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.kinds import (
+    DIMENSIONLESS,
+    NAMED_KINDS,
+    add,
+    comparable,
+    display,
+    divide,
+    join,
+    multiply,
+    named,
+    power,
+    sqrt,
+)
+
+#: Every named kind plus unknown -- the analyzer's whole value domain.
+kinds = st.sampled_from([None] + [NAMED_KINDS[n] for n in sorted(NAMED_KINDS)])
+
+#: Continuous kinds only (no node_id / count): the vector algebra is
+#: exact on these; the discrete dimensions are deliberately lossy.
+continuous = st.sampled_from(
+    [k for n, k in sorted(NAMED_KINDS.items()) if not k.is_discrete]
+)
+
+#: Continuous kinds without a probability exponent -- the P dimension
+#: saturates at 1 in products, so squaring is only invertible off it.
+unclamped = st.sampled_from(
+    [
+        k
+        for n, k in sorted(NAMED_KINDS.items())
+        if not k.is_discrete and k.exponent("P") == 0
+    ]
+)
+
+
+class TestMultiplicativeAlgebra:
+    @given(kinds, kinds)
+    def test_multiply_commutes(self, a, b):
+        assert multiply(a, b) == multiply(b, a)
+
+    @given(kinds, kinds, kinds)
+    def test_multiply_associates(self, a, b, c):
+        assert multiply(multiply(a, b), c) == multiply(a, multiply(b, c))
+
+    @given(unclamped)
+    def test_dimensionless_is_identity(self, a):
+        assert multiply(a, DIMENSIONLESS) == a
+        assert divide(a, DIMENSIONLESS) == a
+
+    @given(unclamped, unclamped)
+    def test_divide_inverts_multiply(self, a, b):
+        assert divide(multiply(a, b), b) == a
+
+    @given(unclamped)
+    def test_sqrt_inverts_square(self, a):
+        assert sqrt(multiply(a, a)) == a
+        assert power(a, 2) == multiply(a, a)
+
+    @given(kinds)
+    def test_unknown_absorbs_products(self, a):
+        assert multiply(None, a) is None
+        assert multiply(a, None) is None
+        assert divide(None, a) is None
+        assert sqrt(None) is None
+
+    def test_seed_compositions(self):
+        # The identities the Elmore / Eq.3 code depends on.
+        assert multiply(named("resistance_ohm"), named("capacitance_fF")) == named(
+            "delay_ps"
+        )
+        assert multiply(named("probability"), named("capacitance_fF")) == named(
+            "switched_cap"
+        )
+        assert multiply(named("cap_per_length"), named("length_um")) == named(
+            "capacitance_fF"
+        )
+        assert multiply(named("length_um"), named("length_um")) == named("area_um2")
+        # P saturates: a product of probabilities is a probability.
+        assert multiply(named("probability"), named("probability")) == named(
+            "probability"
+        )
+        # K drops: counts rescale, they don't type.
+        assert multiply(named("count"), named("capacitance_fF")) == named(
+            "capacitance_fF"
+        )
+        # N poisons: node ids never compose multiplicatively.
+        assert multiply(named("node_id"), named("length_um")) is None
+
+
+class TestAdditiveCompatibility:
+    @given(kinds, kinds)
+    def test_add_commutes(self, a, b):
+        assert add(a, b) == add(b, a)
+
+    @given(kinds)
+    def test_add_is_idempotent(self, a):
+        merged, ok = add(a, a)
+        assert ok
+        assert merged == a
+
+    @given(kinds)
+    def test_unknown_never_flags(self, a):
+        assert add(None, a) == (None, True)
+        assert comparable(None, a)
+
+    @given(kinds)
+    def test_dimensionless_mixes_with_everything(self, a):
+        merged, ok = add(a, DIMENSIONLESS)
+        assert ok
+        assert merged == a
+
+    @given(kinds, kinds)
+    def test_comparable_is_symmetric(self, a, b):
+        assert comparable(a, b) == comparable(b, a)
+
+    @given(kinds, kinds)
+    def test_comparable_matches_add_legality(self, a, b):
+        assert comparable(a, b) == add(a, b)[1]
+
+    def test_discrete_family_mixes(self):
+        # nid + offset is an id; offset arithmetic stays a count.
+        assert add(named("node_id"), named("count")) == (named("node_id"), True)
+        assert add(named("count"), named("count")) == (named("count"), True)
+
+    def test_physical_mixes_flag(self):
+        assert add(named("capacitance_fF"), named("resistance_ohm"))[1] is False
+        assert add(named("delay_ps"), named("switched_cap"))[1] is False
+        assert not comparable(named("length_um"), named("capacitance_fF"))
+
+
+class TestJoin:
+    @given(kinds, kinds)
+    def test_join_commutes(self, a, b):
+        assert join(a, b) == join(b, a)
+
+    @given(kinds, kinds, kinds)
+    def test_join_associates(self, a, b, c):
+        assert join(join(a, b), c) == join(a, join(b, c))
+
+    @given(kinds)
+    def test_join_is_idempotent(self, a):
+        assert join(a, a) == a
+
+    @given(continuous)
+    def test_join_with_literal_arm_keeps_the_kind(self, a):
+        # min(cap, 0.0) and ternary literal arms must not lose the kind.
+        assert join(a, DIMENSIONLESS) == a
+
+    @given(kinds)
+    def test_join_with_unknown_is_unknown(self, a):
+        assert join(None, a) is None
+
+
+class TestDisplay:
+    def test_named_vectors_display_by_name(self):
+        assert display(named("switched_cap")) == "switched_cap"
+        assert display(None) == "unknown"
+
+    @given(kinds, kinds)
+    def test_every_product_displays(self, a, b):
+        # No kind the algebra can produce renders as an empty string.
+        label = display(multiply(a, b))
+        assert isinstance(label, str)
+        assert label == "dimensionless" or label != ""

@@ -1,0 +1,218 @@
+"""The interprocedural quantity analysis: REP008 / REP009 / REP010.
+
+Every test lints a small scratch project through the real engine (the
+same path CI takes), then filters for the quantity codes so unrelated
+per-module rules cannot interfere.  The analyzer never imports the
+code under test -- the ``repro.quantity`` imports in the fixtures are
+for realism; kinds are read syntactically from the annotation names.
+"""
+
+from repro.lint import run_lint
+
+QUANTITY_CODES = {"REP008", "REP009", "REP010"}
+
+
+def lint_source(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(source)
+    result = run_lint([str(tmp_path)], project_root=str(tmp_path))
+    return [f for f in result.findings if f.rule in QUANTITY_CODES], result
+
+
+class TestRep008IncompatibleMix:
+    def test_fires_on_cap_plus_resistance(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, ResistanceOhm\n"
+            "\n"
+            "def f(cap: CapacitanceFF, res: ResistanceOhm) -> float:\n"
+            "    return cap + res\n",
+        )
+        assert [f.rule for f in findings] == ["REP008"]
+        assert "capacitance_fF" in findings[0].message
+        assert "resistance_ohm" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_fires_on_cross_kind_comparison(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import DelayPs, SwitchedCap\n"
+            "\n"
+            "def worse(delay: DelayPs, cost: SwitchedCap) -> bool:\n"
+            "    return delay < cost\n",
+        )
+        assert [f.rule for f in findings] == ["REP008"]
+        assert "comparison across quantity kinds" in findings[0].message
+
+    def test_clean_on_composed_kinds(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import (\n"
+            "    CapacitanceFF, CapPerLength, LengthUm, Probability,\n"
+            ")\n"
+            "\n"
+            "def wire_cap(c: CapPerLength, length: LengthUm,\n"
+            "             load: CapacitanceFF) -> CapacitanceFF:\n"
+            "    return c * length + load\n"
+            "\n"
+            "def weighted(p: Probability, cap: CapacitanceFF) -> float:\n"
+            "    total = 0.0\n"
+            "    total += p * cap\n"
+            "    return total\n",
+        )
+        assert findings == []
+
+    def test_dimensionless_literals_do_not_fire(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import LengthUm\n"
+            "\n"
+            "def pad(length: LengthUm) -> LengthUm:\n"
+            "    return length + 1.0\n"
+            "\n"
+            "def positive(length: LengthUm) -> bool:\n"
+            "    return length > 0.0\n",
+        )
+        assert findings == []
+
+    def test_suppressed_with_noqa(self, tmp_path):
+        findings, result = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, ResistanceOhm\n"
+            "\n"
+            "def f(cap: CapacitanceFF, res: ResistanceOhm) -> float:\n"
+            "    return cap + res  # repro: noqa[REP008]\n",
+        )
+        assert findings == []
+        assert result.suppressed == 1
+
+
+class TestRep009ArgumentKind:
+    def test_fires_on_wrong_kind_argument(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, LengthUm\n"
+            "\n"
+            "def load(cap: CapacitanceFF) -> CapacitanceFF:\n"
+            "    return cap\n"
+            "\n"
+            "def caller(length: LengthUm) -> CapacitanceFF:\n"
+            "    return load(length)\n",
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+        assert "load()" in findings[0].message
+        assert "capacitance_fF" in findings[0].message
+        assert "length_um" in findings[0].message
+
+    def test_clean_on_matching_argument(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF\n"
+            "\n"
+            "def load(cap: CapacitanceFF) -> CapacitanceFF:\n"
+            "    return cap\n"
+            "\n"
+            "def caller(cap: CapacitanceFF) -> CapacitanceFF:\n"
+            "    return load(cap)\n",
+        )
+        assert findings == []
+
+    def test_unknown_argument_never_fires(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF\n"
+            "\n"
+            "def load(cap: CapacitanceFF) -> CapacitanceFF:\n"
+            "    return cap\n"
+            "\n"
+            "def caller(mystery):\n"
+            "    return load(mystery)\n",
+        )
+        assert findings == []
+
+    def test_dataclass_constructor_is_checked(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "from repro.quantity import CapacitanceFF, ResistanceOhm\n"
+            "\n"
+            "@dataclass\n"
+            "class Edge:\n"
+            "    cap: CapacitanceFF\n"
+            "\n"
+            "def build(res: ResistanceOhm) -> Edge:\n"
+            "    return Edge(cap=res)\n",
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+
+
+class TestRep010ReturnDrift:
+    def test_fires_on_wrong_return_kind(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, ResistanceOhm\n"
+            "\n"
+            "def presented(res: ResistanceOhm) -> CapacitanceFF:\n"
+            "    return res\n",
+        )
+        assert [f.rule for f in findings] == ["REP010"]
+        assert "presented()" in findings[0].message
+        assert "declares return kind capacitance_fF" in findings[0].message
+
+    def test_clean_on_derived_return(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, DelayPs, ResistanceOhm\n"
+            "\n"
+            "def elmore(res: ResistanceOhm, cap: CapacitanceFF) -> DelayPs:\n"
+            "    return res * cap\n",
+        )
+        assert findings == []
+
+    def test_inferred_returns_flow_between_functions(self, tmp_path):
+        # `half` has no declared return; its delay kind must be inferred
+        # through the fixed point and still satisfy the caller's check.
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, DelayPs, ResistanceOhm\n"
+            "\n"
+            "def half(res: ResistanceOhm, cap: CapacitanceFF):\n"
+            "    return res * cap / 2.0\n"
+            "\n"
+            "def total(res: ResistanceOhm, cap: CapacitanceFF) -> DelayPs:\n"
+            "    return half(res, cap) + res * cap\n",
+        )
+        assert findings == []
+
+
+class TestPlantedBugs:
+    """The satellite's end-to-end check: realistic planted unit bugs."""
+
+    def test_swapped_res_cap_call_is_caught(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, DelayPs, ResistanceOhm\n"
+            "\n"
+            "def edge_delay(res: ResistanceOhm, cap: CapacitanceFF) -> DelayPs:\n"
+            "    return res * cap\n"
+            "\n"
+            "def caller(res: ResistanceOhm, cap: CapacitanceFF) -> DelayPs:\n"
+            "    return edge_delay(cap, res)\n",
+        )
+        assert [f.rule for f in findings] == ["REP009", "REP009"]
+        assert all("edge_delay()" in f.message for f in findings)
+
+    def test_length_accumulated_into_cap_is_caught(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path,
+            "from repro.quantity import CapacitanceFF, LengthUm\n"
+            "\n"
+            "def bad_total(cap: CapacitanceFF, length: LengthUm) -> CapacitanceFF:\n"
+            "    cap += length\n"
+            "    return cap\n",
+        )
+        assert [f.rule for f in findings] == ["REP008"]
+
+    def test_shipped_tree_has_no_quantity_findings(self):
+        # The committed source (pre-baseline) must be quantity-clean.
+        result = run_lint(["src/repro"], project_root=".")
+        assert [f for f in result.findings if f.rule in QUANTITY_CODES] == []
